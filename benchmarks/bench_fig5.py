@@ -1,0 +1,48 @@
+"""Fig 5: global-history predictor schemes at EV8-class budgets.
+
+Paper findings asserted:
+
+* "at equivalent memorization budget 2Bc-gskew outperforms the other global
+  history branch predictors except YAGS" — in particular gshare (even at
+  2 Mbit, 4-8x the 2Bc-gskew budgets) loses clearly to every de-aliased
+  scheme;
+* "There is no clear winner between the YAGS predictor and 2Bc-gskew".
+"""
+
+from conftest import emit, run_once
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark):
+    table = run_once(benchmark, fig5.run)
+    emit(fig5.render(table), "fig5")
+
+    means = {config: table.mean(config) for config in table.config_names}
+
+    # gshare is the aliased baseline: strictly worst on the mean, despite
+    # having by far the largest budget.
+    gshare = means["gshare-2Mb"]
+    for config, mean in means.items():
+        if config != "gshare-2Mb":
+            assert mean < gshare, (
+                f"{config} ({mean:.3f}) should beat gshare ({gshare:.3f})")
+    # ... and by a visible margin for the 2Bc-gskew configurations (the
+    # paper's gap; our traces narrow it but preserve the ordering).
+    assert means["2Bc-gskew-256Kb"] < 0.97 * gshare
+    assert means["2Bc-gskew-512Kb"] < 0.97 * gshare
+
+    # No clear winner between YAGS and 2Bc-gskew: the better of each pair
+    # wins by less than 15% on the mean.
+    for two_bc, yags in (("2Bc-gskew-256Kb", "YAGS-288Kb"),
+                         ("2Bc-gskew-512Kb", "YAGS-576Kb")):
+        ratio = means[two_bc] / means[yags]
+        assert 0.85 < ratio < 1.18, (
+            f"{two_bc} vs {yags}: mean ratio {ratio:.3f}")
+
+    # Per-benchmark difficulty ordering survives end-to-end: go is the
+    # hardest benchmark and the most predictable benchmark is at least 3x
+    # easier, for every predictor.
+    for config in table.config_names:
+        series = dict(zip(table.benchmark_names, table.series(config)))
+        assert series["go"] == max(series.values()), config
+        assert min(series.values()) < series["go"] / 3, config

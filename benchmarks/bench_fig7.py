@@ -1,0 +1,41 @@
+"""Fig 7: impact of the information vector (ghist -> lghist -> 3-old ->
+EV8 vector) on a fixed 4x64K 2Bc-gskew.
+
+Paper findings asserted:
+
+* lghist performs in the same range as conventional per-branch history
+  ("quite surprisingly, lghist has same performance as conventional branch
+  history") — the compression is nearly free because inter-branch
+  correlation is redundant;
+* embedding path information in lghist is generally beneficial;
+* using three-fetch-blocks-old history "slightly degrades the accuracy of
+  the predictor, but the impact is limited";
+* the full EV8 information vector achieves "approximately the same levels
+  of accuracy as without any constraints".
+"""
+
+from conftest import emit, run_once
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark):
+    table = run_once(benchmark, fig7.run)
+    emit(fig7.render(table), "fig7")
+
+    means = {config: table.mean(config) for config in table.config_names}
+    ghist = means["ghist"]
+
+    # lghist is in the same range as ghist: within 25% on the mean.
+    assert means["lghist + path"] < 1.25 * ghist
+    assert means["lghist, no path"] < 1.30 * ghist
+
+    # Path information in lghist is (on the mean) beneficial.
+    assert means["lghist + path"] <= means["lghist, no path"] * 1.03
+
+    # Three-blocks-old history degrades only slightly.
+    assert means["3-old lghist"] < means["lghist + path"] * 1.15
+
+    # The complete EV8 vector lands near the 3-old point or better, and
+    # stays within 30% of the unconstrained ghist reference.
+    assert means["EV8 info vector"] < means["3-old lghist"] * 1.10
+    assert means["EV8 info vector"] < 1.30 * ghist

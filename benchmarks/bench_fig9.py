@@ -1,0 +1,61 @@
+"""Fig 9: the wordline-index choice under the Section 7 hardware
+constraints.
+
+Paper findings asserted:
+
+* a purely address-based shared index distributes accesses poorly: the EV8
+  choice (4 lghist bits + 2 address bits, path bit in lghist) beats the
+  "address only" variants;
+* the constrained EV8 functions stand the comparison with complete hashing
+  of all information bits;
+* the final EV8 predictor lands in the range of the unconstrained 512 Kbit
+  ghist reference ("the 352 Kbits Alpha EV8 branch predictor stands the
+  comparison against a 512 Kbits 2Bc-gskew predictor using conventional
+  branch history").
+"""
+
+from conftest import emit, run_once
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark):
+    table = run_once(benchmark, fig9.run)
+    emit(fig9.render(table), "fig9")
+
+    means = {config: table.mean(config) for config in table.config_names}
+
+    # The EV8 wordline choice beats both address-only variants.
+    assert means["EV8"] < means["address only, no path"]
+    assert means["EV8"] < means["address only, path"]
+
+    # The constrained functions stand the comparison with complete hashing.
+    assert means["EV8"] < means["complete hash"] * 1.15
+
+    # ... and with the unconstrained 512 Kbit ghist reference (the paper's
+    # concluding claim), within a generous band.
+    assert means["EV8"] < means["4x64K ghist"] * 1.35
+
+    # Index-distribution mechanism: the history wordline uses the table
+    # rows far more uniformly than the address wordline (measured directly
+    # on gcc's access stream).
+    from repro.ev8.indexfuncs import EV8IndexScheme, decompose_index
+    from repro.ev8.config import EV8_CONFIG
+    from repro.history.providers import BlockLghistProvider
+    from repro.indexing.analysis import assess_indices
+    from repro.traces.fetch import fetch_blocks_for
+    from repro.workloads.spec95 import spec95_trace
+
+    trace = spec95_trace("gcc", 40_000)
+
+    def wordline_entropy(mode):
+        scheme = EV8IndexScheme(wordline_mode=mode)
+        provider = BlockLghistProvider(include_path=True, delay_blocks=3)
+        lines = []
+        for block in fetch_blocks_for(trace):
+            for vector in provider.begin_block(block):
+                lines.append(decompose_index(
+                    scheme.compute(vector, EV8_CONFIG.tables())[1])[2])
+            provider.end_block(block)
+        return assess_indices(lines, 64).entropy
+
+    assert wordline_entropy("history") > wordline_entropy("address")

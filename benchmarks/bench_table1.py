@@ -1,0 +1,38 @@
+"""Table 1: the EV8 predictor configuration.
+
+Validates the reproduced configuration bit-for-bit against the paper's
+Table 1 and times full predictor construction (the 352 Kbit arrays).
+"""
+
+from conftest import emit, run_once
+from repro.ev8.config import EV8_CONFIG, TABLE1
+from repro.ev8.predictor import EV8BranchPredictor
+
+
+def test_table1(benchmark):
+    predictor = run_once(benchmark, EV8BranchPredictor)
+
+    lines = ["Table 1: characteristics of the Alpha EV8 branch predictor",
+             f"{'table':<6}{'prediction':>12}{'hysteresis':>12}{'history':>9}"]
+    lines.append("-" * len(lines[1]))
+    for name, spec in TABLE1.items():
+        lines.append(f"{name:<6}{spec['prediction'] // 1024:>11}K"
+                     f"{spec['hysteresis'] // 1024:>11}K"
+                     f"{spec['history']:>9}")
+    lines.append("-" * len(lines[1]))
+    lines.append(f"total prediction {EV8_CONFIG.prediction_bits // 1024} Kbits, "
+                 f"hysteresis {EV8_CONFIG.hysteresis_bits // 1024} Kbits, "
+                 f"overall {EV8_CONFIG.total_bits // 1024} Kbits")
+    emit("\n".join(lines), "table1")
+
+    # The paper's stated budget, exactly.
+    assert EV8_CONFIG.total_bits == 352 * 1024
+    assert EV8_CONFIG.prediction_bits == 208 * 1024
+    assert EV8_CONFIG.hysteresis_bits == 144 * 1024
+    assert predictor.storage_bits == EV8_CONFIG.total_bits
+    # Per-table sizes and history lengths, exactly.
+    for name, table in zip(("BIM", "G0", "G1", "Meta"), EV8_CONFIG.tables()):
+        assert table.entries == TABLE1[name]["prediction"]
+        assert (table.hysteresis_entries or table.entries) == \
+            TABLE1[name]["hysteresis"]
+        assert table.history_length == TABLE1[name]["history"]

@@ -1,0 +1,22 @@
+"""Table 3: the lghist/ghist compression ratio.
+
+Shape checks: every benchmark's ratio exceeds 1 (one lghist bit summarises
+more than one branch), the band matches the paper's (roughly 1.1-1.6), and
+go — the paper's lowest ratio at 1.12 — stays near the bottom of ours."""
+
+from conftest import emit, run_once
+from repro.experiments import table3
+
+
+def test_table3(benchmark):
+    result = run_once(benchmark, table3.run)
+    emit(table3.render(result), "table3")
+    ratios = result.ratios
+
+    assert all(ratio > 1.0 for ratio in ratios.values())
+    assert all(ratio < 2.0 for ratio in ratios.values())
+    # The cross-benchmark mean lands in the paper's band.
+    assert 1.05 < result.mean() < 1.7
+    # go has the lowest compression win in the paper (1.12); it must sit in
+    # the bottom half of ours.
+    assert ratios["go"] <= sorted(ratios.values())[len(ratios) // 2]

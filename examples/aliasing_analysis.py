@@ -1,0 +1,67 @@
+"""Measure the aliasing that de-aliased predictors are built to absorb.
+
+Section 4 of the paper adopts 2Bc-gskew because "aliased" global-history
+predictors (gshare, GAs) let branch substreams intermingle in shared
+counters.  This example quantifies that on a synthetic gcc trace:
+
+* destructive-aliasing rates of a gshare index across table sizes,
+* how the skewed family spreads conflicting pairs across banks (a pair
+  colliding in one bank almost never collides in another),
+* how the measured destructive rate tracks the actual accuracy gap between
+  gshare and e-gskew.
+
+Run:  python examples/aliasing_analysis.py [benchmark]
+"""
+
+import sys
+
+from repro import EGskewPredictor, GsharePredictor, simulate, spec95_trace
+from repro.history.providers import BranchGhistProvider
+from repro.indexing.fold import gshare_index, info_word
+from repro.indexing.skew import skew_index
+from repro.sim.interference import measure_interference
+
+HISTORY = 12
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    trace = spec95_trace(benchmark, 80_000)
+
+    print(f"=== Destructive aliasing vs table size (gshare h={HISTORY}, "
+          f"{benchmark}) ===")
+    for bits in (8, 10, 12, 14, 16):
+        entries = 1 << bits
+        report = measure_interference(
+            lambda vector, bits=bits: gshare_index(
+                vector.branch_pc, vector.history, HISTORY, bits),
+            entries, trace, BranchGhistProvider())
+        print(f"  {entries:>6} entries: aliased {report.aliased_fraction:6.1%}"
+              f"  destructive {report.destructive_fraction:6.1%}"
+              f"  utilization {report.utilization:6.1%}")
+
+    print("\n=== Inter-bank dispersion of the skewed family (2x12-bit) ===")
+    provider = BranchGhistProvider()
+
+    def skew(rank):
+        return lambda vector: skew_index(
+            rank, info_word(vector.address, vector.history, HISTORY, 24), 12)
+
+    for rank in (1, 2, 3):
+        report = measure_interference(skew(rank), 1 << 12, trace,
+                                      BranchGhistProvider())
+        print(f"  bank function {rank}: destructive "
+              f"{report.destructive_fraction:6.1%}")
+    print("  (any single bank suffers aliasing; the majority vote of three "
+          "differently-indexed banks absorbs it)")
+
+    print("\n=== Accuracy consequence (64 Kbit budget) ===")
+    gshare = simulate(GsharePredictor(1 << 15, HISTORY), trace)
+    egskew = simulate(EGskewPredictor(1 << 13, HISTORY), trace)
+    print(f"  gshare 32K entries : {gshare.misp_per_ki:7.3f} misp/KI")
+    print(f"  e-gskew 3x8K       : {egskew.misp_per_ki:7.3f} misp/KI "
+          f"(3/4 of the budget)")
+
+
+if __name__ == "__main__":
+    main()

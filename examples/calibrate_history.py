@@ -1,0 +1,89 @@
+"""Re-derive the "best history length" constants of
+``repro.experiments.common.BEST_HISTORY``.
+
+The paper tunes each Fig 5 predictor's history length to its trace set
+(Section 8.2); we do the same for the synthetic stand-ins.  This script
+re-runs that calibration so the constants can be regenerated after any
+workload change.
+
+Run:  python examples/calibrate_history.py [num_branches]
+(300000 was used for the committed constants; smaller is faster and
+noisier)
+"""
+
+import sys
+
+from repro import (
+    BiModePredictor,
+    GsharePredictor,
+    TableConfig,
+    TwoBcGskewPredictor,
+    YagsPredictor,
+    spec95_traces,
+)
+from repro.sim.sweep import sweep
+
+
+def report(title, points):
+    best = min(points, key=lambda point: point.mean_misp_per_ki)
+    print(f"\n== {title} ==")
+    for point in points:
+        marker = "  <- best" if point is best else ""
+        print(f"  h={point.value:<12} mean {point.mean_misp_per_ki:7.4f} "
+              f"misp/KI{marker}")
+    return best.value
+
+
+def main() -> None:
+    num_branches = int(sys.argv[1]) if len(sys.argv) > 1 else 300_000
+    print(f"Calibrating on {num_branches}-branch traces "
+          f"(this takes a while at full scale)...")
+    traces = spec95_traces(num_branches)
+
+    results = {}
+    results["gshare_1m"] = report(
+        "gshare 1M entries",
+        sweep(lambda h: GsharePredictor(1 << 20, h),
+              (8, 12, 14, 16, 20), traces))
+    results["bimode"] = report(
+        "bi-mode 2x128K",
+        sweep(lambda h: BiModePredictor(1 << 17, 1 << 14, h),
+              (12, 14, 17, 20, 23), traces))
+    results["yags_small"] = report(
+        "YAGS 288Kb",
+        sweep(lambda h: YagsPredictor(1 << 14, 1 << 14, h),
+              (12, 14, 18, 23, 26), traces))
+    results["yags_big"] = report(
+        "YAGS 576Kb",
+        sweep(lambda h: YagsPredictor(1 << 15, 1 << 15, h),
+              (12, 15, 19, 25, 28), traces))
+
+    for label, entries, candidates in (
+            ("2bc_32k", 1 << 15,
+             [(12, 19, 14), (13, 21, 15), (13, 23, 16), (15, 15, 15)]),
+            ("2bc_64k", 1 << 16,
+             [(13, 21, 15), (15, 23, 17), (17, 27, 20), (16, 16, 16)])):
+        print(f"\n== 2Bc-gskew 4x{entries // 1024}K (G0, G1, Meta) ==")
+        best_value, best_mean = None, float("inf")
+        for g0, g1, meta in candidates:
+            points = sweep(
+                lambda _=0, g0=g0, g1=g1, meta=meta: TwoBcGskewPredictor(
+                    TableConfig(entries, 0), TableConfig(entries, g0),
+                    TableConfig(entries, g1), TableConfig(entries, meta)),
+                [0], traces)
+            mean = points[0].mean_misp_per_ki
+            marker = ""
+            if mean < best_mean:
+                best_value, best_mean = (g0, g1, meta), mean
+                marker = "  <- best so far"
+            print(f"  (G0,G1,Meta)=({g0},{g1},{meta}) mean {mean:7.4f}"
+                  f"{marker}")
+        results[label] = best_value
+
+    print("\nPaste into repro/experiments/common.py BEST_HISTORY:")
+    for key, value in results.items():
+        print(f'    "{key}": {value},')
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Compare the paper's global-history predictor zoo (a scaled-down Fig 5).
+
+Runs bimodal, gshare, GAs, agree, e-gskew, bi-mode, YAGS, 2Bc-gskew, the
+21264 tournament, the perceptron and the full EV8 over the eight synthetic
+SPECINT95 benchmarks and prints the misp/KI grid.
+
+Run:  python examples/compare_predictors.py [num_branches]
+(default 60000 — a quick look; the full-scale version is
+``pytest benchmarks/bench_fig5.py``)
+"""
+
+import sys
+
+from repro import (
+    AgreePredictor,
+    BiModePredictor,
+    BimodalPredictor,
+    EGskewPredictor,
+    EV8BranchPredictor,
+    GAsPredictor,
+    GsharePredictor,
+    PerceptronPredictor,
+    TableConfig,
+    TournamentPredictor,
+    TwoBcGskewPredictor,
+    YagsPredictor,
+    ev8_info_provider,
+    spec95_traces,
+)
+from repro.history.providers import BranchGhistProvider
+from repro.sim.compare import run_comparison
+
+
+def main() -> None:
+    num_branches = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    traces = spec95_traces(num_branches)
+
+    configs = {
+        "bimodal": lambda: BimodalPredictor(64 * 1024),
+        "gshare": lambda: GsharePredictor(256 * 1024, 14),
+        "GAs": lambda: GAsPredictor(256 * 1024, 10),
+        "agree": lambda: AgreePredictor(128 * 1024, 16 * 1024, 14),
+        "e-gskew": lambda: EGskewPredictor(64 * 1024, 16,
+                                           g0_history_length=12),
+        "bi-mode": lambda: BiModePredictor(128 * 1024, 16 * 1024, 20),
+        "YAGS": lambda: YagsPredictor(32 * 1024, 32 * 1024, 25),
+        "2Bc-gskew": lambda: TwoBcGskewPredictor(
+            TableConfig(16 * 1024, 0), TableConfig(64 * 1024, 17),
+            TableConfig(64 * 1024, 27), TableConfig(64 * 1024, 20)),
+        "21264": lambda: TournamentPredictor(),
+        "perceptron": lambda: PerceptronPredictor(1024, 24),
+        "EV8": lambda: EV8BranchPredictor(),
+    }
+    providers = {name: BranchGhistProvider for name in configs}
+    providers["EV8"] = ev8_info_provider
+
+    print(f"Simulating {len(configs)} predictors x {len(traces)} benchmarks "
+          f"({num_branches} branches each)...\n")
+    table = run_comparison(configs, traces, provider_factories=providers)
+    print(table.render("Global-history predictor comparison (misp/KI)"))
+
+    print("\nStorage budgets:")
+    for name, factory in configs.items():
+        print(f"  {name:<11} {factory().storage_kbits:8.1f} Kbits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Explore the 2Bc-gskew design space the way Section 4 of the paper does.
+
+Four axes, each with the paper's claim:
+
+1. update policy — partial beats total (Section 4.2),
+2. BIM size — shrinking the bimodal table is free at large sizes
+   (Section 4.6),
+3. hysteresis sharing — half-size hysteresis costs almost nothing
+   (Section 4.4),
+4. history lengths — per-table lengths beat one shared length
+   (Section 4.5).
+
+Run:  python examples/design_space.py [num_branches]
+"""
+
+import sys
+
+from repro import TableConfig, TwoBcGskewPredictor, spec95_traces
+from repro.sim.compare import run_comparison
+
+
+def make(bim_entries=16 * 1024, entries=64 * 1024, histories=(17, 27, 20),
+         g0_hyst=None, meta_hyst=None, policy="partial", name="cfg"):
+    g0_history, g1_history, meta_history = histories
+    return lambda: TwoBcGskewPredictor(
+        bim=TableConfig(bim_entries, 0),
+        g0=TableConfig(entries, g0_history, g0_hyst),
+        g1=TableConfig(entries, g1_history),
+        meta=TableConfig(entries, meta_history, meta_hyst),
+        update_policy=policy, name=name)
+
+
+def main() -> None:
+    num_branches = int(sys.argv[1]) if len(sys.argv) > 1 else 80_000
+    traces = spec95_traces(num_branches)
+
+    axes = {
+        "partial update": make(policy="partial", name="partial"),
+        "total update": make(policy="total", name="total"),
+        "BIM 64K": make(bim_entries=64 * 1024, name="bim64"),
+        "BIM 16K": make(name="bim16"),
+        "full hysteresis": make(name="full-hyst"),
+        "half G0/Meta hyst": make(g0_hyst=32 * 1024, meta_hyst=32 * 1024,
+                                  name="half-hyst"),
+        "equal history 16": make(histories=(16, 16, 16), name="equal16"),
+        "per-table history": make(name="pertable"),
+    }
+    print(f"Sweeping the 2Bc-gskew design space "
+          f"({num_branches} branches/benchmark)...\n")
+    table = run_comparison(axes, traces)
+    print(table.render("2Bc-gskew design axes (misp/KI)"))
+
+    print("\nPaper claims vs this run (mean misp/KI):")
+    pairs = [
+        ("partial update beats total (Sec 4.2)", "partial update",
+         "total update"),
+        ("small BIM is free at 4x64K (Sec 4.6)", "BIM 16K", "BIM 64K"),
+        ("half hysteresis is nearly free (Sec 4.4)", "half G0/Meta hyst",
+         "full hysteresis"),
+        ("per-table history beats equal (Sec 4.5)", "per-table history",
+         "equal history 16"),
+    ]
+    for claim, better, worse in pairs:
+        b, w = table.mean(better), table.mean(worse)
+        verdict = "HOLDS" if b <= w * 1.02 else "DOES NOT HOLD"
+        print(f"  {claim}: {better} {b:.3f} vs {worse} {w:.3f} -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which require ``bdist_wheel``) fail.  Keeping a
+``setup.py`` lets ``pip install -e . --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

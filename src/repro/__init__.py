@@ -1,0 +1,74 @@
+"""repro — a reproduction of "Design Tradeoffs for the Alpha EV8 Conditional
+Branch Predictor" (Seznec, Felix, Krishnan & Sazeides, ISCA 2002).
+
+Public API layers:
+
+* :mod:`repro.predictors` — the predictor library (bimodal, gshare, GAs,
+  e-gskew, 2Bc-gskew, bi-mode, YAGS, agree, local, tournament, perceptron);
+* :mod:`repro.ev8` — the integrated Alpha EV8 predictor: Table 1
+  configuration, conflict-free banking, constrained index functions,
+  front-end model;
+* :mod:`repro.traces` / :mod:`repro.workloads` — trace model, fetch blocks,
+  synthetic SPECINT95 stand-in workloads;
+* :mod:`repro.history` — ghist/lghist/path registers and information-vector
+  providers;
+* :mod:`repro.sim` — trace-driven simulation, metrics, comparisons, sweeps;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import EV8BranchPredictor, simulate, spec95_trace
+    predictor = EV8BranchPredictor()
+    trace = spec95_trace("gcc", 100_000)
+    result = simulate(predictor, trace, EV8BranchPredictor.make_provider())
+    print(result)
+"""
+
+from repro.ev8 import EV8_CONFIG, EV8BranchPredictor, EV8Config
+from repro.history import (
+    BlockLghistProvider,
+    BranchGhistProvider,
+    InfoVector,
+    ev8_info_provider,
+)
+from repro.predictors import (
+    AgreePredictor,
+    BiModePredictor,
+    BimodalPredictor,
+    EGskewPredictor,
+    GAsPredictor,
+    GsharePredictor,
+    LocalPredictor,
+    PerceptronPredictor,
+    Predictor,
+    TableConfig,
+    TournamentPredictor,
+    TwoBcGskewPredictor,
+    YagsPredictor,
+)
+from repro.sim import SimulationResult, simulate
+from repro.traces import Trace, TraceBuilder, build_fetch_blocks
+from repro.workloads import (
+    SPEC95_BENCHMARKS,
+    WorkloadProfile,
+    generate_trace,
+    spec95_trace,
+    spec95_traces,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EV8_CONFIG", "EV8BranchPredictor", "EV8Config",
+    "BlockLghistProvider", "BranchGhistProvider", "InfoVector",
+    "ev8_info_provider",
+    "AgreePredictor", "BiModePredictor", "BimodalPredictor",
+    "EGskewPredictor", "GAsPredictor", "GsharePredictor", "LocalPredictor",
+    "PerceptronPredictor", "Predictor", "TableConfig",
+    "TournamentPredictor", "TwoBcGskewPredictor", "YagsPredictor",
+    "SimulationResult", "simulate",
+    "Trace", "TraceBuilder", "build_fetch_blocks",
+    "SPEC95_BENCHMARKS", "WorkloadProfile", "generate_trace",
+    "spec95_trace", "spec95_traces",
+    "__version__",
+]

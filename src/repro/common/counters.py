@@ -1,0 +1,185 @@
+"""Two-bit saturating counters with physically split prediction and
+hysteresis arrays.
+
+The EV8 predictor stores its 2-bit counters as two separate memory arrays
+(Section 4.3 of the paper): the *prediction* array holds the direction bit
+read at fetch time, the *hysteresis* array holds the strength bit touched at
+update time.  The partial update policy only ever needs:
+
+* a read of the prediction array to predict,
+* a write of the hysteresis array to *strengthen* a correct prediction,
+* a read of the hysteresis array plus writes of both arrays on a
+  misprediction.
+
+Section 4.4 additionally allows a hysteresis array *smaller* than the
+prediction array: two prediction entries whose indices differ only in the
+most significant bit share one hysteresis entry, so the hysteresis array
+suffers more aliasing than the prediction array.
+
+The conventional 2-bit counter states map onto (prediction, hysteresis) as::
+
+    strong not-taken  = (0, 1)
+    weak   not-taken  = (0, 0)
+    weak   taken      = (1, 0)
+    strong taken      = (1, 1)
+
+i.e. the prediction bit is the counter's direction and the hysteresis bit is
+its strength.  ``update`` implements the usual saturating-counter step in
+this encoding; ``strengthen`` and ``weaken`` expose the half-steps the
+partial update policy needs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SplitCounterArray"]
+
+
+class SplitCounterArray:
+    """An array of 2-bit saturating counters stored as split prediction and
+    hysteresis bit arrays, with optional hysteresis sharing.
+
+    Parameters
+    ----------
+    size:
+        Number of prediction entries.  Must be a power of two.
+    hysteresis_size:
+        Number of hysteresis entries.  Must be a power of two and divide
+        ``size``; when smaller than ``size``, ``size / hysteresis_size``
+        prediction entries share each hysteresis entry (the EV8 uses a ratio
+        of 2 for G0 and Meta; the index is the prediction index with the most
+        significant bit(s) dropped).  Defaults to ``size`` (private
+        hysteresis).
+    init_taken:
+        Initial direction of every counter.  The paper initialises all
+        entries weakly not-taken (Section 8.1.1), which is the default.
+    """
+
+    __slots__ = ("size", "hysteresis_size", "_prediction", "_hysteresis")
+
+    def __init__(self, size: int, hysteresis_size: int | None = None, *,
+                 init_taken: bool = False) -> None:
+        if size <= 0 or size & (size - 1):
+            raise ValueError(f"counter array size must be a power of two, got {size}")
+        if hysteresis_size is None:
+            hysteresis_size = size
+        if hysteresis_size <= 0 or hysteresis_size & (hysteresis_size - 1):
+            raise ValueError(
+                f"hysteresis size must be a power of two, got {hysteresis_size}")
+        if hysteresis_size > size:
+            raise ValueError(
+                f"hysteresis size {hysteresis_size} exceeds prediction size {size}")
+        self.size = size
+        self.hysteresis_size = hysteresis_size
+        initial = 1 if init_taken else 0
+        self._prediction = bytearray([initial] * size)
+        # Weak initial state: hysteresis 0 regardless of direction.
+        self._hysteresis = bytearray(hysteresis_size)
+
+    # -- index plumbing ----------------------------------------------------
+
+    def _hysteresis_index(self, index: int) -> int:
+        """Map a prediction index to its (possibly shared) hysteresis index.
+
+        Sharing drops the most significant bit(s) of the prediction index
+        (Section 4.4: "the prediction table and the hysteresis table are
+        indexed using the same index function, except the most significant
+        bit").
+        """
+        return index & (self.hysteresis_size - 1)
+
+    def sharing_partners(self, index: int) -> list[int]:
+        """Return all prediction indices sharing ``index``'s hysteresis entry."""
+        base = self._hysteresis_index(index)
+        ratio = self.size // self.hysteresis_size
+        return [base + k * self.hysteresis_size for k in range(ratio)]
+
+    # -- reads -------------------------------------------------------------
+
+    def predict(self, index: int) -> bool:
+        """Return the direction bit (True = predict taken).
+
+        This is the only read needed at fetch time.
+        """
+        return bool(self._prediction[index & (self.size - 1)])
+
+    def hysteresis(self, index: int) -> bool:
+        """Return the hysteresis (strength) bit for a prediction index."""
+        return bool(self._hysteresis[self._hysteresis_index(index & (self.size - 1))])
+
+    def counter_value(self, index: int) -> int:
+        """Return the conventional 2-bit counter value (0..3) for debugging
+        and tests: 0/1 = strong/weak not-taken, 2/3 = weak/strong taken."""
+        index &= self.size - 1
+        direction = self._prediction[index]
+        strength = self._hysteresis[self._hysteresis_index(index)]
+        if direction:
+            return 2 + strength
+        return 1 - strength
+
+    # -- writes ------------------------------------------------------------
+
+    def strengthen(self, index: int, taken: bool) -> None:
+        """Reinforce a correct prediction: saturate the counter towards the
+        outcome without flipping the direction bit.
+
+        Matches the partial-update "strengthen" operation: only the
+        hysteresis array is written, and only when the stored direction
+        agrees with the outcome (it always does when called on a correct
+        prediction, but a shared hysteresis entry may currently be weak
+        because of an alias, hence the unconditional set).
+        """
+        index &= self.size - 1
+        if bool(self._prediction[index]) == taken:
+            self._hysteresis[self._hysteresis_index(index)] = 1
+        else:
+            # Direction disagrees (possible when the caller strengthens a
+            # majority vote that this particular bank did not contribute
+            # to).  A strengthen in the wrong direction is a weaken.
+            self._step_towards(index, taken)
+
+    def update(self, index: int, taken: bool) -> None:
+        """Full saturating-counter update step towards ``taken``."""
+        self._step_towards(index & (self.size - 1), taken)
+
+    def _step_towards(self, index: int, taken: bool) -> None:
+        h_index = self._hysteresis_index(index)
+        direction = self._prediction[index]
+        strength = self._hysteresis[h_index]
+        if bool(direction) == taken:
+            if not strength:
+                self._hysteresis[h_index] = 1
+        elif strength:
+            self._hysteresis[h_index] = 0
+        else:
+            self._prediction[index] = 1 if taken else 0
+            # Stay weak after a direction flip (00 <-> 10 transition).
+
+    def set_counter(self, index: int, value: int) -> None:
+        """Force a counter to a conventional 2-bit value (0..3). Test hook."""
+        if not 0 <= value <= 3:
+            raise ValueError(f"counter value must be in 0..3, got {value}")
+        index &= self.size - 1
+        self._prediction[index] = 1 if value >= 2 else 0
+        self._hysteresis[self._hysteresis_index(index)] = 1 if value in (0, 3) else 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def storage_bits(self) -> int:
+        """Total storage in bits (prediction + hysteresis)."""
+        return self.size + self.hysteresis_size
+
+    def reset(self, *, init_taken: bool = False) -> None:
+        """Reset every counter to the weak state in the given direction."""
+        initial = 1 if init_taken else 0
+        for i in range(self.size):
+            self._prediction[i] = initial
+        for i in range(self.hysteresis_size):
+            self._hysteresis[i] = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SplitCounterArray(size={self.size}, "
+                f"hysteresis_size={self.hysteresis_size})")

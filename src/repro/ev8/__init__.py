@@ -1,0 +1,40 @@
+"""The Alpha EV8 branch predictor: configuration, banking, index functions,
+the integrated predictor, and the front-end pipeline model."""
+
+from repro.ev8.arrays import PhysicalCoordinate, WordlineLayout
+from repro.ev8.banks import BankNumberGenerator, bank_number
+from repro.ev8.config import EV8_CONFIG, TABLE1, EV8Config
+from repro.ev8.frontend import FrontEnd, FrontEndStatistics, LinePredictor
+from repro.ev8.indexfuncs import (
+    EV8IndexScheme,
+    WORDLINE_MODES,
+    decompose_index,
+)
+from repro.ev8.pcgen import (
+    JumpPredictor,
+    PCAddressGenerator,
+    PCGenStatistics,
+    ReturnAddressStack,
+)
+from repro.ev8.predictor import EV8BranchPredictor
+
+__all__ = [
+    "PhysicalCoordinate",
+    "WordlineLayout",
+    "BankNumberGenerator",
+    "bank_number",
+    "EV8_CONFIG",
+    "TABLE1",
+    "EV8Config",
+    "FrontEnd",
+    "FrontEndStatistics",
+    "LinePredictor",
+    "EV8IndexScheme",
+    "WORDLINE_MODES",
+    "decompose_index",
+    "EV8BranchPredictor",
+    "JumpPredictor",
+    "PCAddressGenerator",
+    "PCGenStatistics",
+    "ReturnAddressStack",
+]

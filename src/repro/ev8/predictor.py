@@ -1,0 +1,90 @@
+"""The integrated Alpha EV8 branch predictor.
+
+Everything the paper's final design combines:
+
+* 2Bc-gskew prediction scheme with the partial update policy (Section 4),
+* Table 1 sizes — small BIM, half-size G0/Meta hysteresis (Sections 4.4/4.6),
+* per-table history lengths 4/13/21/15 (Section 4.5),
+* three-fetch-blocks-old lghist with embedded path bits, plus path
+  information from the three last fetch blocks (Section 5),
+* conflict-free 4-way bank interleaving via two-block-ahead bank number
+  computation (Section 6),
+* the hardware-constrained index functions (Section 7).
+
+:class:`EV8BranchPredictor` is a drop-in
+:class:`~repro.predictors.base.Predictor`; pair it with
+:func:`~repro.history.providers.ev8_info_provider` to reproduce the shipped
+configuration, or with other providers/schemes for the Fig 7-9 ablations.
+"""
+
+from __future__ import annotations
+
+from repro.ev8.config import EV8Config, EV8_CONFIG
+from repro.ev8.indexfuncs import EV8IndexScheme, decompose_index
+from repro.history.providers import BlockLghistProvider, InfoVector
+from repro.predictors.twobcgskew import IndexScheme, TwoBcGskewPredictor
+
+__all__ = ["EV8BranchPredictor"]
+
+
+class EV8BranchPredictor(TwoBcGskewPredictor):
+    """The 352 Kbit EV8 predictor (Table 1 configuration by default)."""
+
+    def __init__(self, config: EV8Config | None = None,
+                 index_scheme: IndexScheme | None = None,
+                 update_policy: str = "partial",
+                 name: str = "ev8") -> None:
+        config = config or EV8_CONFIG
+        config.validate()
+        self.config = config
+        super().__init__(
+            bim=config.bim, g0=config.g0, g1=config.g1, meta=config.meta,
+            index_scheme=index_scheme or EV8IndexScheme(),
+            update_policy=update_policy, name=name)
+
+    @staticmethod
+    def make_provider() -> BlockLghistProvider:
+        """The matching information-vector provider: 3-blocks-old lghist
+        with path bits and a 3-deep path register (Section 5)."""
+        from repro.history.providers import ev8_info_provider
+        return ev8_info_provider()
+
+    # -- structural views ----------------------------------------------------
+
+    def physical_location(self, vector: InfoVector,
+                          table: str) -> tuple[int, int, int, int]:
+        """(bank, word offset, wordline, column) a prediction would be read
+        from — the Section 7.1 physical decomposition.  ``table`` is one of
+        ``"BIM"``, ``"G0"``, ``"G1"``, ``"Meta"``."""
+        order = {"BIM": 0, "G0": 1, "G1": 2, "Meta": 3}
+        try:
+            position = order[table]
+        except KeyError:
+            raise ValueError(
+                f"table must be one of {sorted(order)}, got {table!r}"
+            ) from None
+        index = self.indices(vector)[position]
+        column_bits = 3 if table == "BIM" else 5
+        return decompose_index(index, column_bits)
+
+    def predict_block(self, vectors: list[InfoVector]) -> list[bool]:
+        """Predict all conditional branches of one fetch block in a single
+        access, as the hardware does (up to 8 predictions per block; the
+        whole 8-bit word is read and unshuffled).
+
+        All vectors must come from the same fetch block, hence share bank,
+        wordline and column — only the in-word offsets differ.
+        """
+        if not vectors:
+            return []
+        first_location = decompose_index(self.indices(vectors[0])[1])
+        predictions = []
+        for vector in vectors:
+            location = decompose_index(self.indices(vector)[1])
+            if (location[0], location[2], location[3]) != (
+                    first_location[0], first_location[2], first_location[3]):
+                raise ValueError(
+                    "predict_block requires vectors from a single fetch "
+                    "block (bank/wordline/column must match)")
+            predictions.append(self.predict(vector))
+        return predictions

@@ -1,0 +1,156 @@
+"""Shared experiment infrastructure.
+
+The evaluation reproduces every table and figure of Section 8 on the
+synthetic SPECINT95 stand-ins.  This module centralises:
+
+* the benchmark set and trace lengths,
+* the predictor configurations of Fig 5/6 with *our* best history lengths
+  (the paper tunes history lengths to its traces; we tune to ours with
+  :func:`repro.sim.sweep.best_history_length` — the constants below were
+  produced by ``examples/calibrate_history.py`` and can be regenerated),
+* result recording (JSON files under ``results/``) used by the benches and
+  by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.predictors import (
+    BiModePredictor,
+    GsharePredictor,
+    TableConfig,
+    TwoBcGskewPredictor,
+    YagsPredictor,
+)
+from repro.sim.compare import ComparisonTable
+from repro.traces.model import Trace
+from repro.workloads.spec95 import (
+    SPEC95_BENCHMARKS,
+    default_trace_branches,
+    spec95_trace,
+)
+
+__all__ = [
+    "BEST_HISTORY",
+    "experiment_traces",
+    "make_2bc_gskew",
+    "make_fig5_configs",
+    "record_results",
+    "results_dir",
+]
+
+BEST_HISTORY = {
+    # Best history lengths for OUR traces (mean misp/KI over the benchmark
+    # set, 300K-branch calibration sweep — regenerate with
+    # ``examples/calibrate_history.py``).  The paper's values for its Atom
+    # traces are quoted in comments.
+    "gshare_1m": 12,          # paper: 20
+    "bimode": 17,             # paper: 20
+    "yags_small": 14,         # paper: 23
+    "yags_big": 15,           # paper: 25
+    # (G0, G1, Meta); BIM is address-indexed in the unconstrained scheme.
+    # Note G1's 21 bits on a 16-bit index: longer-than-log2(size) history
+    # wins here exactly as the paper reports.
+    "2bc_32k": (13, 21, 15),  # paper: (13, 23, 16)
+    "2bc_64k": (13, 21, 15),  # paper: (17, 27, 20)
+    "2bc_1m": (13, 21, 15),   # Fig 10's 4x1M configuration
+    # Equal history = log2(table entries), the Fig 6 clamped configurations
+    # (the paper's Section 8.2 "limited" lengths).
+    "2bc_32k_limited": 15,
+    "2bc_64k_limited": 16,
+    "bimode_limited": 17,
+    "yags_small_limited": 14,
+    "yags_big_limited": 15,
+    "gshare_1m_limited": 20,
+}
+
+
+def experiment_traces(num_branches: int | None = None,
+                      benchmarks: tuple[str, ...] = SPEC95_BENCHMARKS,
+                      ) -> dict[str, Trace]:
+    """The benchmark traces used by every experiment (disk-cached)."""
+    if num_branches is None:
+        num_branches = default_trace_branches()
+    return {name: spec95_trace(name, num_branches) for name in benchmarks}
+
+
+def make_2bc_gskew(entries: int, g0_history: int, g1_history: int,
+                   meta_history: int, bim_entries: int | None = None,
+                   bim_history: int = 0,
+                   bim_hysteresis: int | None = None,
+                   g0_hysteresis: int | None = None,
+                   meta_hysteresis: int | None = None,
+                   index_scheme=None, update_policy: str = "partial",
+                   name: str | None = None) -> TwoBcGskewPredictor:
+    """Convenience constructor for the 2Bc-gskew configurations the
+    experiments sweep over."""
+    bim_entries = bim_entries if bim_entries is not None else entries
+    return TwoBcGskewPredictor(
+        bim=TableConfig(bim_entries, bim_history, bim_hysteresis),
+        g0=TableConfig(entries, g0_history, g0_hysteresis),
+        g1=TableConfig(entries, g1_history),
+        meta=TableConfig(entries, meta_history, meta_hysteresis),
+        index_scheme=index_scheme,
+        update_policy=update_policy,
+        name=name or f"2Bc-gskew-4x{entries // 1024}K",
+    )
+
+
+def make_fig5_configs(limited: bool = False):
+    """The Fig 5 predictor set (Fig 6 when ``limited``: history clamped to
+    log2 of the table size).
+
+    Returns ``{config name: predictor factory}`` ordered as the paper lists
+    them.  Sizes follow Section 8.2: 2Bc-gskew 256 Kbit and 512 Kbit,
+    bi-mode 544 Kbit, gshare 2 Mbit, YAGS 288 Kbit and 576 Kbit.
+    """
+    best = BEST_HISTORY
+    if limited:
+        h32 = (best["2bc_32k_limited"],) * 3
+        h64 = (best["2bc_64k_limited"],) * 3
+        h_bimode = best["bimode_limited"]
+        h_gshare = best["gshare_1m_limited"]
+        h_yags_small = best["yags_small_limited"]
+        h_yags_big = best["yags_big_limited"]
+    else:
+        h32 = best["2bc_32k"]
+        h64 = best["2bc_64k"]
+        h_bimode = best["bimode"]
+        h_gshare = best["gshare_1m"]
+        h_yags_small = best["yags_small"]
+        h_yags_big = best["yags_big"]
+    return {
+        "2Bc-gskew-256Kb": lambda: make_2bc_gskew(
+            32 * 1024, *h32, name="2Bc-gskew-256Kb"),
+        "2Bc-gskew-512Kb": lambda: make_2bc_gskew(
+            64 * 1024, *h64, name="2Bc-gskew-512Kb"),
+        "bimode-544Kb": lambda: BiModePredictor(
+            128 * 1024, 16 * 1024, h_bimode, name="bimode-544Kb"),
+        "gshare-2Mb": lambda: GsharePredictor(
+            1024 * 1024, h_gshare, name="gshare-2Mb"),
+        "YAGS-288Kb": lambda: YagsPredictor(
+            16 * 1024, 16 * 1024, h_yags_small, name="YAGS-288Kb"),
+        "YAGS-576Kb": lambda: YagsPredictor(
+            32 * 1024, 32 * 1024, h_yags_big, name="YAGS-576Kb"),
+    }
+
+
+def results_dir() -> Path:
+    """Where experiment outputs are recorded (override with
+    ``REPRO_RESULTS_DIR``)."""
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    base = Path(env) if env else Path.cwd() / "results"
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+
+def record_results(experiment: str, payload: dict | ComparisonTable) -> Path:
+    """Persist an experiment's results as JSON; returns the file path."""
+    if isinstance(payload, ComparisonTable):
+        payload = payload.to_dict()
+    path = results_dir() / f"{experiment}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,97 @@
+"""Run every experiment and write a consolidated Markdown report.
+
+``python -m repro.experiments.runall [--branches N] [--output FILE]``
+regenerates the measured sections of EXPERIMENTS.md from scratch.  The
+report interleaves, for every table and figure, the paper's qualitative
+finding and the measured reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table2,
+    table3,
+)
+from repro.workloads.spec95 import default_trace_branches
+
+__all__ = ["run_all", "main"]
+
+_SECTIONS = (
+    ("Table 2 — benchmark characteristics", table2,
+     "The synthetic stand-ins preserve the published footprints and branch "
+     "densities."),
+    ("Table 3 — lghist/ghist ratio", table3,
+     "One lghist bit summarises more than one branch on every benchmark."),
+    ("Fig 5 — global-history schemes at EV8-class sizes", fig5,
+     "2Bc-gskew and YAGS lead; gshare trails despite the largest budget."),
+    ("Fig 6 — cost of log2(size) history", fig6,
+     "Clamping the history to the table index width costs mispredictions "
+     "for the long-history schemes."),
+    ("Fig 7 — information vector", fig7,
+     "Block-compressed lghist approaches full branch history; path bits "
+     "help; three-blocks-old history costs little."),
+    ("Fig 8 — table size reductions", fig8,
+     "The small BIM is free; half-size hysteresis is barely noticeable: "
+     "512 Kbit accuracy in 352 Kbit."),
+    ("Fig 9 — wordline indices", fig9,
+     "History bits in the shared unhashed index beat address-only "
+     "selection; the constrained functions match complete hashing."),
+    ("Fig 10 — limits of global history", fig10,
+     "An 8 Mbit predictor returns little over 512 Kbit."),
+)
+
+
+def run_all(num_branches: int | None = None) -> str:
+    """Run every experiment; return the consolidated Markdown report."""
+    branches = num_branches or default_trace_branches()
+    lines = [
+        "# Measured reproduction report",
+        "",
+        f"Trace length: {branches} conditional branches per benchmark; "
+        f"trace-driven simulation with immediate update; misp/KI "
+        f"everywhere.",
+        "",
+    ]
+    for title, module, finding in _SECTIONS:
+        started = time.time()
+        result = module.run(num_branches)
+        rendered = module.render(result)
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append(f"*Paper finding:* {finding}")
+        lines.append("")
+        lines.append("```")
+        lines.append(rendered)
+        lines.append("```")
+        lines.append(f"*({time.time() - started:.0f}s)*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--branches", type=int, default=None)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the report to a file instead of stdout")
+    args = parser.parse_args(argv)
+    report = run_all(args.branches)
+    if args.output:
+        args.output.write_text(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

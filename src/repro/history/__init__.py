@@ -1,0 +1,29 @@
+"""History machinery: global/path/local registers, lghist, info-vector
+providers."""
+
+from repro.history.lghist import LghistRegister, lghist_bit
+from repro.history.providers import (
+    BlockLghistProvider,
+    BranchGhistProvider,
+    HistoryProvider,
+    InfoVector,
+    ev8_info_provider,
+)
+from repro.history.registers import (
+    GlobalHistoryRegister,
+    LocalHistoryTable,
+    PathRegister,
+)
+
+__all__ = [
+    "LghistRegister",
+    "lghist_bit",
+    "BlockLghistProvider",
+    "BranchGhistProvider",
+    "HistoryProvider",
+    "InfoVector",
+    "ev8_info_provider",
+    "GlobalHistoryRegister",
+    "LocalHistoryTable",
+    "PathRegister",
+]

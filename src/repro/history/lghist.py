@@ -1,0 +1,115 @@
+"""lghist: the EV8's block-compressed branch + path history (Section 5.1).
+
+Predicting up to 16 branches per cycle makes a conventional per-branch
+history register impractical (up to 16 bits would have to shift in each
+cycle).  The EV8 instead inserts a **single history bit per fetch block**:
+
+    whenever at least one conditional branch is present in the fetch block,
+    the outcome of the *last* conditional branch in the block (1 = taken)
+    is XORed with **bit 4 of that branch's PC address**.
+
+The PC-bit XOR embeds path information and evens out the otherwise
+taken-skewed distribution of history patterns in optimised code.
+
+Because the predictor is pipelined over two cycles with two blocks fetched
+per cycle, the history used to predict block D cannot contain bits from the
+three preceding blocks A, B, C: the EV8 uses **three fetch blocks old**
+lghist.  :class:`LghistRegister` models both the compression and the delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.bitops import bit, mask
+from repro.traces.fetch import FetchBlock
+
+__all__ = ["lghist_bit", "LghistRegister"]
+
+PATH_BIT_POSITION = 4
+"""The PC bit XORed into the history bit (Section 5.1)."""
+
+
+def lghist_bit(block: FetchBlock, include_path: bool = True) -> int | None:
+    """The history bit a fetch block inserts, or ``None`` when the block
+    contains no conditional branch.
+
+    With ``include_path`` (the EV8 configuration) the last branch's outcome
+    is XORed with bit 4 of its PC; without, the raw outcome is used
+    ("lghist, no path" in Fig 7).
+    """
+    if not block.has_conditional:
+        return None
+    outcome = int(block.last_branch_outcome)
+    if include_path:
+        return outcome ^ bit(block.last_branch_pc, PATH_BIT_POSITION)
+    return outcome
+
+
+class LghistRegister:
+    """Block-compressed history with an optional fetch-block-age delay.
+
+    Parameters
+    ----------
+    include_path:
+        XOR the path bit into each history bit (Section 5.1).
+    delay_blocks:
+        Number of most recent fetch blocks whose history bits are *not yet
+        visible* when predicting (3 on the EV8, Section 5.1; 0 gives the
+        idealised immediate lghist of Fig 7's "lghist" configurations).
+    capacity:
+        Visible history bits retained.
+    """
+
+    __slots__ = ("include_path", "delay_blocks", "capacity", "_mask",
+                 "_visible", "_pending")
+
+    def __init__(self, include_path: bool = True, delay_blocks: int = 0,
+                 capacity: int = 64) -> None:
+        if delay_blocks < 0:
+            raise ValueError(f"delay must be >= 0, got {delay_blocks}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.include_path = include_path
+        self.delay_blocks = delay_blocks
+        self.capacity = capacity
+        self._mask = mask(capacity)
+        self._visible = 0
+        self._pending: deque[int | None] = deque()
+
+    def value(self, length: int | None = None) -> int:
+        """The history visible to the predictor *now* (i.e. excluding the
+        ``delay_blocks`` most recent fetch blocks)."""
+        if length is None:
+            return self._visible
+        if length < 0 or length > self.capacity:
+            raise ValueError(
+                f"history length {length} outside capacity {self.capacity}")
+        return self._visible & mask(length)
+
+    def push_block(self, block: FetchBlock) -> None:
+        """Account for one fetched block.
+
+        The block's history bit (if any) becomes visible only once
+        ``delay_blocks`` younger blocks have been fetched.  Blocks without
+        conditional branches insert no bit but still advance the delay
+        pipeline — the delay is measured in *fetch blocks*, not in history
+        bits (it models pipeline stages, Fig 1).
+        """
+        inserted = lghist_bit(block, self.include_path)
+        if self.delay_blocks == 0:
+            if inserted is not None:
+                self._shift_in(inserted)
+            return
+        self._pending.append(inserted)
+        while len(self._pending) > self.delay_blocks:
+            aged = self._pending.popleft()
+            if aged is not None:
+                self._shift_in(aged)
+
+    def _shift_in(self, history_bit: int) -> None:
+        self._visible = ((self._visible << 1) | history_bit) & self._mask
+
+    def reset(self) -> None:
+        self._visible = 0
+        self._pending.clear()

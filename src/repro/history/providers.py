@@ -1,0 +1,168 @@
+"""Information-vector providers: what the predictor is indexed with.
+
+Fig 7 of the paper compares five information vectors on the same 4x64K
+2Bc-gskew predictor:
+
+* ``ghist`` — conventional per-branch global history,
+* ``lghist, no path`` — block-compressed history without the path bit,
+* ``lghist + path`` — block-compressed history with the path bit,
+* ``3-old lghist`` — the same, three fetch blocks old,
+* ``EV8 info vector`` — 3-old lghist + the addresses of the three most
+  recent fetch blocks.
+
+A provider walks the fetch-block stream and hands the simulation driver one
+:class:`InfoVector` per conditional branch; swapping providers (with the
+predictor held fixed) reproduces the Fig 7 axis.
+"""
+
+from __future__ import annotations
+
+from repro.history.lghist import LghistRegister
+from repro.history.registers import GlobalHistoryRegister, PathRegister
+from repro.traces.fetch import FetchBlock
+
+__all__ = ["InfoVector", "HistoryProvider", "BranchGhistProvider",
+           "BlockLghistProvider", "ev8_info_provider"]
+
+
+class InfoVector:
+    """Everything a predictor may be indexed with for one prediction.
+
+    Attributes
+    ----------
+    history:
+        Global history bits (bit 0 youngest); each predictor table masks or
+        folds the length it uses.
+    address:
+        The fetch-block address (block-granular providers) or the branch PC
+        (per-branch providers) — the paper's ``A``.
+    branch_pc:
+        The predicted branch's own PC (supplies the in-block offset bits
+        4..2 used by the unshuffle stage).
+    path:
+        Addresses of the most recent previous fetch blocks, youngest first —
+        the paper's (Z, Y, X).
+    bank:
+        The fetch block's predictor bank number, computed by the front end
+        a cycle ahead of the table read (Section 6.2, Fig 3).  Zero for
+        providers that do not model banking.
+    """
+
+    __slots__ = ("history", "address", "branch_pc", "path", "bank")
+
+    def __init__(self, history: int, address: int, branch_pc: int,
+                 path: tuple[int, ...], bank: int = 0) -> None:
+        self.history = history
+        self.address = address
+        self.branch_pc = branch_pc
+        self.path = path
+        self.bank = bank
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"InfoVector(history={self.history:#x}, "
+                f"address={self.address:#x}, branch_pc={self.branch_pc:#x}, "
+                f"path={tuple(hex(p) for p in self.path)})")
+
+
+class HistoryProvider:
+    """Base class: produces per-branch info vectors over a fetch-block
+    stream.
+
+    The driver calls :meth:`begin_block` (returning one vector per
+    conditional branch in the block, in fetch order) and then
+    :meth:`end_block` after the block's outcomes are architecturally known.
+    """
+
+    def begin_block(self, block: FetchBlock) -> list[InfoVector]:
+        raise NotImplementedError
+
+    def end_block(self, block: FetchBlock) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class BranchGhistProvider(HistoryProvider):
+    """Conventional global history: one bit per branch, visible immediately
+    (even between branches of the same fetch block).
+
+    This is the "ghist" information vector — the idealised baseline the
+    paper's Section 8.3 starts from.  The vector's ``address`` is the branch
+    PC itself, as per-branch predictors are indexed.
+    """
+
+    def __init__(self, capacity: int = 64, path_depth: int = 3) -> None:
+        self._history = GlobalHistoryRegister(capacity)
+        self._path = PathRegister(path_depth)
+
+    def begin_block(self, block: FetchBlock) -> list[InfoVector]:
+        vectors = []
+        path = self._path.as_tuple()
+        for pc, outcome in zip(block.branch_pcs, block.branch_outcomes):
+            vectors.append(InfoVector(self._history.value(), pc, pc, path))
+            self._history.push(outcome)
+        return vectors
+
+    def end_block(self, block: FetchBlock) -> None:
+        self._path.push(block.start)
+
+    def reset(self) -> None:
+        self._history.reset()
+        self._path.reset()
+
+
+class BlockLghistProvider(HistoryProvider):
+    """Block-compressed lghist, optionally aged and with path information.
+
+    All branches of a block share one vector value (they are predicted in
+    the same access): history = the lghist register (aged by
+    ``delay_blocks``), address = the fetch-block address, path = previous
+    block addresses.
+    """
+
+    def __init__(self, include_path: bool = True, delay_blocks: int = 0,
+                 capacity: int = 64, path_depth: int = 3) -> None:
+        # Imported here to avoid a circular import (ev8 builds on history).
+        from repro.ev8.banks import BankNumberGenerator
+        self._lghist = LghistRegister(include_path=include_path,
+                                      delay_blocks=delay_blocks,
+                                      capacity=capacity)
+        self._path = PathRegister(path_depth)
+        self._banks = BankNumberGenerator()
+        self._block_bank: int | None = None
+
+    def begin_block(self, block: FetchBlock) -> list[InfoVector]:
+        history = self._lghist.value()
+        address = block.start
+        path = self._path.as_tuple()
+        bank = self._bank_for(block)
+        return [InfoVector(history, address, pc, path, bank)
+                for pc in block.branch_pcs]
+
+    def _bank_for(self, block: FetchBlock) -> int:
+        # Idempotent per block: the bank pipeline must advance exactly once
+        # per fetch block, whether or not begin_block was consulted.
+        if self._block_bank is None:
+            self._block_bank = self._banks.next_bank(block.start)
+        return self._block_bank
+
+    def end_block(self, block: FetchBlock) -> None:
+        self._bank_for(block)
+        self._block_bank = None
+        self._lghist.push_block(block)
+        self._path.push(block.start)
+
+    def reset(self) -> None:
+        self._lghist.reset()
+        self._path.reset()
+        self._banks.reset()
+        self._block_bank = None
+
+
+def ev8_info_provider(capacity: int = 64) -> BlockLghistProvider:
+    """The EV8 information vector: three-fetch-blocks-old lghist including
+    path bits, plus the addresses of the three most recent fetch blocks
+    (Sections 5.1-5.2)."""
+    return BlockLghistProvider(include_path=True, delay_blocks=3,
+                               capacity=capacity, path_depth=3)

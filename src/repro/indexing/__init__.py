@@ -1,0 +1,34 @@
+"""Index functions: skewing family, information-word folding, distribution
+quality analysis."""
+
+from repro.indexing.analysis import (
+    IndexQuality,
+    assess_indices,
+    coefficient_of_variation,
+    hot_fraction,
+    index_counts,
+    normalized_entropy,
+)
+from repro.indexing.fold import PC_FIELD_BITS, gshare_index, info_word
+from repro.indexing.skew import (
+    SKEW_FUNCTION_COUNT,
+    h_function,
+    h_inverse,
+    skew_index,
+)
+
+__all__ = [
+    "IndexQuality",
+    "assess_indices",
+    "coefficient_of_variation",
+    "hot_fraction",
+    "index_counts",
+    "normalized_entropy",
+    "PC_FIELD_BITS",
+    "gshare_index",
+    "info_word",
+    "SKEW_FUNCTION_COUNT",
+    "h_function",
+    "h_inverse",
+    "skew_index",
+]

@@ -1,0 +1,93 @@
+"""Index-distribution quality metrics.
+
+Section 7.2's first design principle for the EV8 index functions is to
+"spread the accesses over the predictor table as uniformly as possible", and
+Section 7.3 reports that PC-only wordline selection left some regions of the
+tables congested and others idle (motivating the use of history bits in the
+wordline number — evaluated in Fig 9).  These helpers quantify that
+uniformity for any stream of computed indices.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["index_counts", "normalized_entropy", "coefficient_of_variation",
+           "hot_fraction", "IndexQuality", "assess_indices"]
+
+
+def index_counts(indices, size: int) -> np.ndarray:
+    """Histogram of index usage over a table of ``size`` entries."""
+    if size <= 0:
+        raise ValueError(f"table size must be positive, got {size}")
+    counts = np.bincount(np.asarray(list(indices), dtype=np.int64) % size,
+                         minlength=size)
+    return counts
+
+
+def normalized_entropy(counts: np.ndarray) -> float:
+    """Shannon entropy of the access distribution, normalised to [0, 1]
+    (1 = perfectly uniform use of all entries)."""
+    total = counts.sum()
+    if total == 0 or len(counts) <= 1:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    entropy = float(-(probabilities * np.log2(probabilities)).sum())
+    return entropy / math.log2(len(counts))
+
+
+def coefficient_of_variation(counts: np.ndarray) -> float:
+    """Std/mean of per-entry access counts (0 = perfectly uniform)."""
+    mean = counts.mean()
+    if mean == 0:
+        return 0.0
+    return float(counts.std() / mean)
+
+
+def hot_fraction(counts: np.ndarray, fraction: float = 0.1) -> float:
+    """Share of accesses absorbed by the hottest ``fraction`` of entries.
+
+    A perfectly uniform distribution gives ``fraction``; congestion gives
+    values approaching 1.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    k = max(1, int(round(len(counts) * fraction)))
+    hottest = np.sort(counts)[-k:]
+    return float(hottest.sum() / total)
+
+
+class IndexQuality:
+    """Bundle of uniformity metrics for one index stream."""
+
+    __slots__ = ("size", "entropy", "cv", "hot10", "used_fraction")
+
+    def __init__(self, size: int, entropy: float, cv: float, hot10: float,
+                 used_fraction: float) -> None:
+        self.size = size
+        self.entropy = entropy
+        self.cv = cv
+        self.hot10 = hot10
+        self.used_fraction = used_fraction
+
+    def __repr__(self) -> str:
+        return (f"IndexQuality(size={self.size}, entropy={self.entropy:.3f}, "
+                f"cv={self.cv:.2f}, hot10={self.hot10:.2f}, "
+                f"used={self.used_fraction:.3f})")
+
+
+def assess_indices(indices, size: int) -> IndexQuality:
+    """Compute all uniformity metrics for a stream of indices."""
+    counts = index_counts(indices, size)
+    return IndexQuality(
+        size=size,
+        entropy=normalized_entropy(counts),
+        cv=coefficient_of_variation(counts),
+        hot10=hot_fraction(counts, 0.1),
+        used_fraction=float((counts > 0).sum() / size),
+    )

@@ -1,0 +1,40 @@
+"""Branch predictor library: the paper's comparison set plus extensions."""
+
+from repro.predictors.agree import AgreePredictor
+from repro.predictors.base import Predictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.cascade import CascadePredictor, CascadeStatistics
+from repro.predictors.bimode import BiModePredictor
+from repro.predictors.egskew import EGskewPredictor
+from repro.predictors.gas import GAsPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.local import LocalPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.tournament import TournamentPredictor
+from repro.predictors.twobcgskew import (
+    IndexScheme,
+    SkewedIndexScheme,
+    TableConfig,
+    TwoBcGskewPredictor,
+)
+from repro.predictors.yags import YagsPredictor
+
+__all__ = [
+    "AgreePredictor",
+    "Predictor",
+    "BimodalPredictor",
+    "CascadePredictor",
+    "CascadeStatistics",
+    "BiModePredictor",
+    "EGskewPredictor",
+    "GAsPredictor",
+    "GsharePredictor",
+    "LocalPredictor",
+    "PerceptronPredictor",
+    "TournamentPredictor",
+    "IndexScheme",
+    "SkewedIndexScheme",
+    "TableConfig",
+    "TwoBcGskewPredictor",
+    "YagsPredictor",
+]

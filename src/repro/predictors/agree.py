@@ -1,0 +1,77 @@
+"""Agree predictor (Sprangle, Chappell, Alsup & Patt, ISCA 1997).
+
+One of the de-aliased schemes the paper cites (Section 4, [22]).  Each
+static branch records a *bias* on first execution; a gshare-indexed table
+then predicts whether the branch will *agree* with its bias.  Two branches
+aliasing in the agree table interfere destructively only when one agrees and
+the other disagrees with their respective biases — much rarer than opposite
+outcomes — converting most negative interference into neutral/positive.
+"""
+
+from __future__ import annotations
+
+from repro.common.counters import SplitCounterArray
+from repro.history.providers import InfoVector
+from repro.indexing.fold import gshare_index
+from repro.predictors.base import Predictor
+
+__all__ = ["AgreePredictor"]
+
+
+class AgreePredictor(Predictor):
+    """First-outcome bias bits + agree/disagree counter table."""
+
+    def __init__(self, agree_entries: int, bias_entries: int,
+                 history_length: int, name: str | None = None) -> None:
+        for label, value in (("agree_entries", agree_entries),
+                             ("bias_entries", bias_entries)):
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{label} must be a power of two, got {value}")
+        self.agree_entries = agree_entries
+        self.bias_entries = bias_entries
+        self.history_length = history_length
+        self.agree_bits = agree_entries.bit_length() - 1
+        self.name = name or f"agree-{agree_entries // 1024}K-h{history_length}"
+        # Agree counters start "strongly agree" — a fresh branch follows its
+        # recorded bias.
+        self.agree = SplitCounterArray(agree_entries, init_taken=True)
+        self._bias = [False] * bias_entries
+        self._bias_valid = [False] * bias_entries
+
+    def _indices(self, vector: InfoVector) -> tuple[int, int]:
+        bias_index = (vector.branch_pc >> 2) & (self.bias_entries - 1)
+        agree_index = gshare_index(vector.branch_pc, vector.history,
+                                   self.history_length, self.agree_bits)
+        return bias_index, agree_index
+
+    def predict(self, vector: InfoVector) -> bool:
+        bias_index, agree_index = self._indices(vector)
+        bias = self._bias[bias_index] if self._bias_valid[bias_index] else True
+        agrees = self.agree.predict(agree_index)
+        return bias if agrees else not bias
+
+    def update(self, vector: InfoVector, taken: bool) -> None:
+        self._access(vector, taken)
+
+    def access(self, vector: InfoVector, taken: bool) -> bool:
+        return self._access(vector, taken)
+
+    def _access(self, vector: InfoVector, taken: bool) -> bool:
+        bias_index, agree_index = self._indices(vector)
+        if self._bias_valid[bias_index]:
+            bias = self._bias[bias_index]
+        else:
+            # First encounter: record the outcome as the branch's bias
+            # (the hardware sets it at allocation into the BTB/I-cache).
+            self._bias[bias_index] = taken
+            self._bias_valid[bias_index] = True
+            bias = taken
+        agrees = self.agree.predict(agree_index)
+        prediction = bias if agrees else not bias
+        self.agree.update(agree_index, taken == bias)
+        return prediction
+
+    @property
+    def storage_bits(self) -> int:
+        # agree counters + (bias + valid) bits
+        return self.agree.storage_bits + 2 * self.bias_entries

@@ -1,0 +1,58 @@
+"""Common predictor interface.
+
+Every predictor consumes an :class:`~repro.history.providers.InfoVector`
+(address + history + path) and answers taken/not-taken.  The simulation
+driver performs trace-driven *immediate update* — the paper's validated
+methodology (Section 8.1.1) — through :meth:`Predictor.access`, which
+predictors may override with a fused fast path that computes table indices
+once for both the prediction and the update.
+"""
+
+from __future__ import annotations
+
+from repro.history.providers import InfoVector
+
+__all__ = ["Predictor"]
+
+
+class Predictor:
+    """Base class for all branch predictors.
+
+    Subclasses implement :meth:`predict` and :meth:`update`, expose their
+    memory budget through :attr:`storage_bits`, and carry a human-readable
+    ``name`` used in experiment reports.
+    """
+
+    name: str = "predictor"
+
+    def predict(self, vector: InfoVector) -> bool:
+        """Predict the branch described by ``vector`` (True = taken)."""
+        raise NotImplementedError
+
+    def update(self, vector: InfoVector, taken: bool) -> None:
+        """Train on the architectural outcome."""
+        raise NotImplementedError
+
+    def access(self, vector: InfoVector, taken: bool) -> bool:
+        """Predict-then-train in one call (immediate update).
+
+        The default implementation composes :meth:`predict` and
+        :meth:`update`; stateful multi-table predictors override it to reuse
+        the index computation.
+        """
+        prediction = self.predict(vector)
+        self.update(vector, taken)
+        return prediction
+
+    @property
+    def storage_bits(self) -> int:
+        """Total predictor memory in bits (as the paper accounts sizes)."""
+        raise NotImplementedError
+
+    @property
+    def storage_kbits(self) -> float:
+        """Storage in Kbits (1 Kbit = 1024 bits), the paper's unit."""
+        return self.storage_bits / 1024.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,82 @@
+"""Local-history two-level predictor (Yeh & Patt's PAg/PAs family).
+
+Section 3 of the paper explains why the EV8 could *not* use local history
+(16 predictions/cycle would need a 16-ported second-level table, speculative
+local history for >256 in-flight branches, and SMT threads would pollute the
+history table).  We implement it anyway: it is the reference point for the
+global-vs-local discussion and one half of the 21264 tournament predictor.
+
+Structure: a first-level table of per-branch history registers (indexed by
+PC), and a second-level table of 2-bit counters indexed by the local
+history (PAg) optionally hashed with the PC (PAs flavour).
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask, xor_fold
+from repro.common.counters import SplitCounterArray
+from repro.history.providers import InfoVector
+from repro.history.registers import LocalHistoryTable
+from repro.predictors.base import Predictor
+
+__all__ = ["LocalPredictor"]
+
+
+class LocalPredictor(Predictor):
+    """Two-level local predictor.
+
+    Parameters
+    ----------
+    history_entries:
+        First-level per-branch history registers.
+    history_width:
+        Bits of local history per branch (the 21264 used 10).
+    counter_entries:
+        Second-level counter table size.
+    hash_pc:
+        If True, XOR PC bits into the second-level index (PAs style) to
+        reduce inter-branch second-level aliasing.
+    """
+
+    def __init__(self, history_entries: int, history_width: int,
+                 counter_entries: int, hash_pc: bool = False,
+                 name: str | None = None) -> None:
+        if counter_entries <= 0 or counter_entries & (counter_entries - 1):
+            raise ValueError(
+                f"counter_entries must be a power of two, got {counter_entries}")
+        self.histories = LocalHistoryTable(history_entries, history_width)
+        self.counter_entries = counter_entries
+        self.counter_bits = counter_entries.bit_length() - 1
+        self.hash_pc = hash_pc
+        self.name = name or (f"local-{history_entries}x{history_width}"
+                             f"-{counter_entries // 1024}K")
+        self._counters = SplitCounterArray(counter_entries)
+
+    def _index(self, vector: InfoVector) -> int:
+        local = self.histories.read(vector.branch_pc)
+        if self.histories.width > self.counter_bits:
+            index = xor_fold(local, self.counter_bits)
+        else:
+            index = local & mask(self.counter_bits)
+        if self.hash_pc:
+            index ^= (vector.branch_pc >> 2) & mask(self.counter_bits)
+        return index
+
+    def predict(self, vector: InfoVector) -> bool:
+        return self._counters.predict(self._index(vector))
+
+    def update(self, vector: InfoVector, taken: bool) -> None:
+        index = self._index(vector)
+        self._counters.update(index, taken)
+        self.histories.push(vector.branch_pc, taken)
+
+    def access(self, vector: InfoVector, taken: bool) -> bool:
+        index = self._index(vector)
+        prediction = self._counters.predict(index)
+        self._counters.update(index, taken)
+        self.histories.push(vector.branch_pc, taken)
+        return prediction
+
+    @property
+    def storage_bits(self) -> int:
+        return self.histories.storage_bits + self._counters.storage_bits

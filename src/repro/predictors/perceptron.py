@@ -1,0 +1,97 @@
+"""Perceptron predictor (Jiménez & Lin, HPCA 2001).
+
+The paper's conclusion names the perceptron as a candidate *backup*
+predictor for hard-to-predict branches in a future hierarchy (line
+predictor -> global predictor -> backup predictor).  Implemented here to
+support that forward-looking experiment.
+
+Each branch (hashed by PC) owns a vector of signed integer weights over the
+global history bits plus a bias weight; the prediction is the sign of the
+dot product, and training adjusts weights when the prediction is wrong or
+the magnitude is below the threshold.
+"""
+
+from __future__ import annotations
+
+from repro.history.providers import InfoVector
+from repro.predictors.base import Predictor
+
+__all__ = ["PerceptronPredictor"]
+
+
+class PerceptronPredictor(Predictor):
+    """Global-history perceptron table."""
+
+    def __init__(self, entries: int, history_length: int,
+                 weight_bits: int = 8, threshold: int | None = None,
+                 name: str | None = None) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        if history_length < 1:
+            raise ValueError(
+                f"history length must be >= 1, got {history_length}")
+        if weight_bits < 2:
+            raise ValueError(f"weight_bits must be >= 2, got {weight_bits}")
+        self.entries = entries
+        self.history_length = history_length
+        self.weight_bits = weight_bits
+        self.weight_limit = (1 << (weight_bits - 1)) - 1
+        # Jimenez & Lin's empirically optimal threshold: 1.93h + 14.
+        self.threshold = (threshold if threshold is not None
+                          else int(1.93 * history_length + 14))
+        self.name = name or f"perceptron-{entries}x{history_length}"
+        # weights[i] is the weight row of table entry i: bias weight first,
+        # then one weight per history bit.
+        self._weights = [[0] * (history_length + 1) for _ in range(entries)]
+
+    def _row(self, vector: InfoVector) -> list[int]:
+        return self._weights[(vector.branch_pc >> 2) & (self.entries - 1)]
+
+    def _dot(self, row: list[int], history: int) -> int:
+        total = row[0]
+        for position in range(self.history_length):
+            weight = row[position + 1]
+            if (history >> position) & 1:
+                total += weight
+            else:
+                total -= weight
+        return total
+
+    def predict(self, vector: InfoVector) -> bool:
+        return self._dot(self._row(vector), vector.history) >= 0
+
+    def update(self, vector: InfoVector, taken: bool) -> None:
+        row = self._row(vector)
+        output = self._dot(row, vector.history)
+        self._train(row, vector.history, output, taken)
+
+    def access(self, vector: InfoVector, taken: bool) -> bool:
+        row = self._row(vector)
+        output = self._dot(row, vector.history)
+        self._train(row, vector.history, output, taken)
+        return output >= 0
+
+    def _train(self, row: list[int], history: int, output: int,
+               taken: bool) -> None:
+        prediction = output >= 0
+        if prediction == taken and abs(output) > self.threshold:
+            return
+        limit = self.weight_limit
+        step = 1 if taken else -1
+        row[0] = _clamp(row[0] + step, limit)
+        for position in range(self.history_length):
+            agrees = bool((history >> position) & 1) == taken
+            delta = 1 if agrees else -1
+            row[position + 1] = _clamp(row[position + 1] + delta, limit)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.entries * (self.history_length + 1) * self.weight_bits
+
+
+def _clamp(value: int, limit: int) -> int:
+    if value > limit:
+        return limit
+    if value < -limit - 1:
+        return -limit - 1
+    return value

@@ -1,0 +1,88 @@
+"""21264-style tournament (hybrid) predictor.
+
+"The previous generation Alpha microprocessor [7] incorporated a hybrid
+predictor using both global and local branch history information"
+(Section 3).  The 21264 scheme: a local two-level predictor, a global
+(GAs-style) predictor, and a global-history-indexed chooser.  This is the
+predictor the EV8 design consciously moved away from — kept here as the
+lineage baseline and for the global-vs-local experiments.
+
+Default sizes follow the real 21264: 1K x 10-bit local histories,
+1K x 3-bit local counters (modelled as 2-bit), 4K x 2-bit global counters,
+4K x 2-bit choosers, 12-bit global history.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+from repro.common.counters import SplitCounterArray
+from repro.history.providers import InfoVector
+from repro.predictors.base import Predictor
+from repro.predictors.local import LocalPredictor
+
+__all__ = ["TournamentPredictor"]
+
+
+class TournamentPredictor(Predictor):
+    """Local + global components with a global-history-indexed chooser."""
+
+    def __init__(self, local_history_entries: int = 1024,
+                 local_history_width: int = 10,
+                 local_counter_entries: int = 1024,
+                 global_entries: int = 4096,
+                 chooser_entries: int = 4096,
+                 global_history_length: int = 12,
+                 name: str = "tournament-21264") -> None:
+        self.name = name
+        self.local = LocalPredictor(local_history_entries,
+                                    local_history_width,
+                                    local_counter_entries)
+        if global_entries <= 0 or global_entries & (global_entries - 1):
+            raise ValueError(
+                f"global_entries must be a power of two, got {global_entries}")
+        if chooser_entries <= 0 or chooser_entries & (chooser_entries - 1):
+            raise ValueError(
+                f"chooser_entries must be a power of two, got {chooser_entries}")
+        self.global_history_length = global_history_length
+        self._global = SplitCounterArray(global_entries)
+        self._global_mask = global_entries - 1
+        self._chooser = SplitCounterArray(chooser_entries)
+        self._chooser_mask = chooser_entries - 1
+
+    def _global_index(self, vector: InfoVector) -> int:
+        return vector.history & mask(self.global_history_length) & self._global_mask
+
+    def _chooser_index(self, vector: InfoVector) -> int:
+        return vector.history & mask(self.global_history_length) & self._chooser_mask
+
+    def predict(self, vector: InfoVector) -> bool:
+        use_global = self._chooser.predict(self._chooser_index(vector))
+        if use_global:
+            return self._global.predict(self._global_index(vector))
+        return self.local.predict(vector)
+
+    def update(self, vector: InfoVector, taken: bool) -> None:
+        self._access(vector, taken)
+
+    def access(self, vector: InfoVector, taken: bool) -> bool:
+        return self._access(vector, taken)
+
+    def _access(self, vector: InfoVector, taken: bool) -> bool:
+        global_index = self._global_index(vector)
+        chooser_index = self._chooser_index(vector)
+        local_prediction = self.local.predict(vector)
+        global_prediction = self._global.predict(global_index)
+        use_global = self._chooser.predict(chooser_index)
+        prediction = global_prediction if use_global else local_prediction
+        # Train: both components always (the 21264 trains both), chooser
+        # only when they disagree.
+        if local_prediction != global_prediction:
+            self._chooser.update(chooser_index, global_prediction == taken)
+        self._global.update(global_index, taken)
+        self.local.update(vector, taken)
+        return prediction
+
+    @property
+    def storage_bits(self) -> int:
+        return (self.local.storage_bits + self._global.storage_bits
+                + self._chooser.storage_bits)

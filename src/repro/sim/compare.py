@@ -1,0 +1,121 @@
+"""Multi-predictor, multi-benchmark comparison runs.
+
+Every evaluation figure in the paper is a grid: predictors (or predictor
+configurations) x benchmarks, measured in misp/KI.  :func:`run_comparison`
+produces that grid; :class:`ComparisonTable` holds it and renders the same
+rows/series the paper's bar charts report.
+
+Predictors and providers are passed as *factories* because every
+(configuration, benchmark) cell needs fresh state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.history.providers import HistoryProvider
+from repro.predictors.base import Predictor
+from repro.sim.driver import simulate
+from repro.sim.metrics import SimulationResult
+from repro.traces.model import Trace
+
+__all__ = ["ComparisonTable", "run_comparison"]
+
+PredictorFactory = Callable[[], Predictor]
+ProviderFactory = Callable[[], HistoryProvider]
+
+
+@dataclass
+class ComparisonTable:
+    """misp/KI results for configurations x benchmarks.
+
+    ``cells[config_name][benchmark_name]`` is a
+    :class:`~repro.sim.metrics.SimulationResult`.
+    """
+
+    config_names: list[str]
+    benchmark_names: list[str]
+    cells: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def result(self, config: str, benchmark: str) -> SimulationResult:
+        return self.cells[config][benchmark]
+
+    def misp_per_ki(self, config: str, benchmark: str) -> float:
+        return self.cells[config][benchmark].misp_per_ki
+
+    def series(self, config: str) -> list[float]:
+        """misp/KI across benchmarks for one configuration (one bar series
+        of a paper figure)."""
+        return [self.misp_per_ki(config, benchmark)
+                for benchmark in self.benchmark_names]
+
+    def mean(self, config: str) -> float:
+        """Arithmetic-mean misp/KI over benchmarks for one configuration."""
+        series = self.series(config)
+        return sum(series) / len(series)
+
+    def render(self, title: str = "", precision: int = 3) -> str:
+        """ASCII table: one row per benchmark, one column per config, plus
+        an arithmetic-mean row — the textual equivalent of the paper's bar
+        charts."""
+        width = max(12, *(len(name) + 2 for name in self.config_names))
+        bench_width = max(10, *(len(name) + 2 for name in self.benchmark_names))
+        lines = []
+        if title:
+            lines.append(title)
+        header = "".join([f"{'benchmark':<{bench_width}}"]
+                         + [f"{name:>{width}}" for name in self.config_names])
+        lines.append(header)
+        lines.append("-" * len(header))
+        for benchmark in self.benchmark_names:
+            row = [f"{benchmark:<{bench_width}}"]
+            for config in self.config_names:
+                row.append(f"{self.misp_per_ki(config, benchmark):>{width}.{precision}f}")
+            lines.append("".join(row))
+        lines.append("-" * len(header))
+        mean_row = [f"{'amean':<{bench_width}}"]
+        for config in self.config_names:
+            mean_row.append(f"{self.mean(config):>{width}.{precision}f}")
+        lines.append("".join(mean_row))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dump (used by the bench harness to record runs)."""
+        return {
+            "configs": self.config_names,
+            "benchmarks": self.benchmark_names,
+            "misp_per_ki": {
+                config: {benchmark: self.misp_per_ki(config, benchmark)
+                         for benchmark in self.benchmark_names}
+                for config in self.config_names
+            },
+        }
+
+
+def run_comparison(configs: dict[str, PredictorFactory],
+                   traces: dict[str, Trace],
+                   provider_factory: ProviderFactory | None = None,
+                   provider_factories: dict[str, ProviderFactory] | None = None,
+                   ) -> ComparisonTable:
+    """Simulate every configuration on every trace.
+
+    ``provider_factory`` applies to all configurations; alternatively
+    ``provider_factories`` maps configuration name to its own provider
+    factory (Fig 7 varies the information vector per configuration while
+    the predictor stays fixed).
+    """
+    table = ComparisonTable(config_names=list(configs),
+                            benchmark_names=list(traces))
+    for config_name, predictor_factory in configs.items():
+        table.cells[config_name] = {}
+        for benchmark_name, trace in traces.items():
+            if provider_factories is not None:
+                provider = provider_factories[config_name]()
+            elif provider_factory is not None:
+                provider = provider_factory()
+            else:
+                provider = None
+            result = simulate(predictor_factory(), trace, provider)
+            table.cells[config_name][benchmark_name] = result
+    return table

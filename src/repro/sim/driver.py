@@ -1,0 +1,69 @@
+"""Trace-driven simulation driver.
+
+Implements the paper's methodology (Section 8.1.1): trace-driven branch
+simulation with **immediate update** — the predictor trains on each branch's
+architectural outcome as soon as it is predicted.  The paper validates that
+for the long-global-history predictors studied, immediate update versus
+commit-time update changes the misprediction counts insignificantly.
+
+The driver walks the trace's fetch-block stream; a
+:class:`~repro.history.providers.HistoryProvider` decides what information
+vector each branch is predicted with (per-branch ghist, block lghist, aged
+lghist, ...), which is how one simulation loop serves both conventional
+per-branch predictors and the block-granular EV8 predictor.
+"""
+
+from __future__ import annotations
+
+from repro.history.providers import BranchGhistProvider, HistoryProvider
+from repro.predictors.base import Predictor
+from repro.sim.metrics import SimulationResult
+from repro.traces.fetch import fetch_blocks_for
+from repro.traces.model import Trace
+
+__all__ = ["simulate"]
+
+
+def simulate(predictor: Predictor, trace: Trace,
+             provider: HistoryProvider | None = None,
+             warmup_branches: int = 0) -> SimulationResult:
+    """Run one predictor over one trace.
+
+    Parameters
+    ----------
+    predictor:
+        A fresh predictor instance (simulation mutates its tables).
+    trace:
+        The dynamic trace.
+    provider:
+        Information-vector provider; defaults to conventional per-branch
+        global history (the setup of the paper's Fig 5 comparisons).
+    warmup_branches:
+        Optional number of initial branches excluded from the misprediction
+        count (the tables still train).  The paper uses no warmup (all
+        entries initialised weakly not-taken); kept for sensitivity studies.
+    """
+    if provider is None:
+        provider = BranchGhistProvider()
+    mispredictions = 0
+    branches = 0
+    counted_instructions = 0
+    begin_block = provider.begin_block
+    end_block = provider.end_block
+    access = predictor.access
+    for block in fetch_blocks_for(trace):
+        if block.branch_pcs:
+            vectors = begin_block(block)
+            for vector, taken in zip(vectors, block.branch_outcomes):
+                prediction = access(vector, taken)
+                branches += 1
+                if branches > warmup_branches and prediction != taken:
+                    mispredictions += 1
+        end_block(block)
+    return SimulationResult(
+        predictor_name=predictor.name,
+        trace_name=trace.name,
+        branches=branches - min(warmup_branches, branches),
+        mispredictions=mispredictions,
+        instructions=trace.instruction_count,
+    )

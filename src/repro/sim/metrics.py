@@ -1,0 +1,61 @@
+"""Simulation results and the paper's metric.
+
+"The metric used to report the results is mispredictions per 1000
+instructions (misp/KI)" — Section 8.1.1.  Accuracy percentages hide the
+branch density differences between benchmarks; misp/KI is what the pipeline
+actually feels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimulationResult", "misp_per_ki", "aggregate_misp_per_ki"]
+
+
+def misp_per_ki(mispredictions: int, instructions: int) -> float:
+    """Mispredictions per 1000 instructions."""
+    if instructions <= 0:
+        raise ValueError(f"instruction count must be positive, got {instructions}")
+    return 1000.0 * mispredictions / instructions
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one (predictor, trace) simulation."""
+
+    predictor_name: str
+    trace_name: str
+    branches: int
+    mispredictions: int
+    instructions: int
+
+    @property
+    def misp_per_ki(self) -> float:
+        """The paper's metric."""
+        return misp_per_ki(self.mispredictions, self.instructions)
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of branches mispredicted."""
+        if self.branches == 0:
+            return 0.0
+        return self.mispredictions / self.branches
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of branches predicted correctly."""
+        return 1.0 - self.misprediction_rate
+
+    def __str__(self) -> str:
+        return (f"{self.predictor_name} on {self.trace_name}: "
+                f"{self.misp_per_ki:.3f} misp/KI "
+                f"({self.misprediction_rate:.2%} of {self.branches} branches)")
+
+
+def aggregate_misp_per_ki(results: list[SimulationResult]) -> float:
+    """Arithmetic mean of misp/KI over benchmarks (the cross-benchmark
+    summary used alongside the per-benchmark bars)."""
+    if not results:
+        raise ValueError("cannot aggregate an empty result list")
+    return sum(result.misp_per_ki for result in results) / len(results)

@@ -1,0 +1,60 @@
+"""Parameter sweeps, primarily over history length.
+
+The paper repeatedly reports "best history length" results (Fig 5) and the
+penalty of clamping history to log2(table size) (Fig 6).  These helpers run
+a predictor factory across a range of a parameter and locate the best
+configuration by mean misp/KI across benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.history.providers import HistoryProvider
+from repro.predictors.base import Predictor
+from repro.sim.driver import simulate
+from repro.traces.model import Trace
+
+__all__ = ["SweepPoint", "sweep", "best_history_length"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated parameter value."""
+
+    value: int
+    mean_misp_per_ki: float
+    per_benchmark: dict[str, float]
+
+
+def sweep(make_predictor: Callable[[int], Predictor],
+          values: Iterable[int],
+          traces: dict[str, Trace],
+          make_provider: Callable[[], HistoryProvider] | None = None,
+          ) -> list[SweepPoint]:
+    """Evaluate ``make_predictor(value)`` for every value, on every trace."""
+    points = []
+    for value in values:
+        per_benchmark = {}
+        for name, trace in traces.items():
+            provider = make_provider() if make_provider is not None else None
+            result = simulate(make_predictor(value), trace, provider)
+            per_benchmark[name] = result.misp_per_ki
+        mean = sum(per_benchmark.values()) / len(per_benchmark)
+        points.append(SweepPoint(value=value, mean_misp_per_ki=mean,
+                                 per_benchmark=per_benchmark))
+    return points
+
+
+def best_history_length(make_predictor: Callable[[int], Predictor],
+                        lengths: Iterable[int],
+                        traces: dict[str, Trace],
+                        make_provider: Callable[[], HistoryProvider] | None = None,
+                        ) -> SweepPoint:
+    """The history length minimising mean misp/KI across the benchmark set
+    (the paper's per-configuration "best history length")."""
+    points = sweep(make_predictor, lengths, traces, make_provider)
+    if not points:
+        raise ValueError("no history lengths supplied")
+    return min(points, key=lambda point: point.mean_misp_per_ki)

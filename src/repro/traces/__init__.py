@@ -1,0 +1,36 @@
+"""Dynamic traces: model, fetch-block construction, statistics, IO."""
+
+from repro.traces.fetch import (
+    FETCH_BLOCK_BYTES,
+    FETCH_BLOCK_INSTRUCTIONS,
+    FetchBlock,
+    build_fetch_blocks,
+    fetch_blocks_for,
+)
+from repro.traces.io import TraceCache, load_trace, save_trace
+from repro.traces.model import (
+    INSTRUCTION_BYTES,
+    BlockExecution,
+    TerminatorKind,
+    Trace,
+    TraceBuilder,
+)
+from repro.traces.stats import TraceStatistics, compute_statistics
+
+__all__ = [
+    "FETCH_BLOCK_BYTES",
+    "FETCH_BLOCK_INSTRUCTIONS",
+    "FetchBlock",
+    "build_fetch_blocks",
+    "fetch_blocks_for",
+    "TraceCache",
+    "load_trace",
+    "save_trace",
+    "INSTRUCTION_BYTES",
+    "BlockExecution",
+    "TerminatorKind",
+    "Trace",
+    "TraceBuilder",
+    "TraceStatistics",
+    "compute_statistics",
+]

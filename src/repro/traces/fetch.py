@@ -1,0 +1,163 @@
+"""EV8 fetch-block construction.
+
+Section 2 of the paper defines the fetch block: *"An instruction fetch block
+consists of all consecutive valid instructions fetched from the I-cache: an
+instruction fetch block ends either at the end of an aligned 8-instruction
+block or on a taken control flow instruction. Not taken conditional branches
+do not end a fetch block, thus up to 16 conditional branches may be fetched
+and predicted in every cycle"* (two blocks per cycle, up to 8 conditional
+branches each).
+
+This module turns a :class:`~repro.traces.model.Trace` (a stream of
+basic-block executions) into the stream of fetch blocks the EV8 front end
+would see.  The fetch-block stream is what drives:
+
+* lghist construction (one history bit per fetch block, Section 5.1),
+* the three-fetch-blocks-old history delay (Section 5.1),
+* path information from the previous fetch blocks (Section 5.2),
+* bank-number computation (Section 6.2),
+* per-slot unshuffle indexing (PC bits 4..2, Section 7.1).
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.traces.model import (
+    INSTRUCTION_BYTES,
+    TerminatorKind,
+    Trace,
+)
+
+__all__ = ["FETCH_BLOCK_INSTRUCTIONS", "FETCH_BLOCK_BYTES", "FetchBlock",
+           "build_fetch_blocks", "fetch_blocks_for"]
+
+FETCH_BLOCK_INSTRUCTIONS = 8
+"""Maximum instructions per fetch block."""
+
+FETCH_BLOCK_BYTES = FETCH_BLOCK_INSTRUCTIONS * INSTRUCTION_BYTES
+"""Fetch blocks never cross an aligned 32-byte boundary."""
+
+
+class FetchBlock:
+    """One dynamic fetch block.
+
+    Attributes
+    ----------
+    start:
+        Address of the first instruction.  This is the "fetch block address"
+        ``A`` used by the index functions (Section 7).
+    num_instructions:
+        Number of instructions in the block (1..8).
+    branch_pcs / branch_outcomes:
+        Parallel lists describing the conditional branches inside the block,
+        in fetch order.  Up to 8 entries; possibly empty.
+    ended_taken:
+        ``True`` if the block ended on a taken control-flow instruction
+        (conditional or unconditional); ``False`` if it ended at an aligned
+        8-instruction boundary or at end of trace.
+    """
+
+    __slots__ = ("start", "num_instructions", "branch_pcs", "branch_outcomes",
+                 "ended_taken")
+
+    def __init__(self, start: int, num_instructions: int,
+                 branch_pcs: list[int], branch_outcomes: list[bool],
+                 ended_taken: bool) -> None:
+        self.start = start
+        self.num_instructions = num_instructions
+        self.branch_pcs = branch_pcs
+        self.branch_outcomes = branch_outcomes
+        self.ended_taken = ended_taken
+
+    @property
+    def end(self) -> int:
+        """Address one past the last instruction."""
+        return self.start + self.num_instructions * INSTRUCTION_BYTES
+
+    @property
+    def has_conditional(self) -> bool:
+        """Whether the block contains at least one conditional branch (only
+        such blocks insert an lghist bit, Section 5.1)."""
+        return bool(self.branch_pcs)
+
+    @property
+    def last_branch_pc(self) -> int:
+        """PC of the last conditional branch (requires ``has_conditional``)."""
+        return self.branch_pcs[-1]
+
+    @property
+    def last_branch_outcome(self) -> bool:
+        """Outcome of the last conditional branch (requires
+        ``has_conditional``)."""
+        return self.branch_outcomes[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FetchBlock(start={self.start:#x}, n={self.num_instructions}, "
+                f"branches={len(self.branch_pcs)}, ended_taken={self.ended_taken})")
+
+
+def build_fetch_blocks(trace: Trace) -> list[FetchBlock]:
+    """Chunk a basic-block execution trace into EV8 fetch blocks.
+
+    The basic-block stream is contiguous in the address space except across
+    taken control transfers, so fetch blocks are formed by splitting the
+    instruction address stream at (a) aligned 32-byte boundaries and (b)
+    taken terminators.
+    """
+    blocks_out: list[FetchBlock] = []
+    fb_start: int | None = None
+    branch_pcs: list[int] = []
+    branch_outcomes: list[bool] = []
+
+    conditional = int(TerminatorKind.CONDITIONAL)
+    fallthrough = int(TerminatorKind.FALLTHROUGH)
+
+    append_out = blocks_out.append
+    for start, n, kind, taken in zip(trace.starts.tolist(),
+                                     trace.num_instructions.tolist(),
+                                     trace.kinds.tolist(),
+                                     trace.takens.tolist()):
+        end = start + n * INSTRUCTION_BYTES
+        terminator_taken = (taken if kind == conditional
+                            else kind != fallthrough)
+        pos = start
+        while pos < end:
+            if fb_start is None:
+                fb_start = pos
+            boundary = (pos & ~(FETCH_BLOCK_BYTES - 1)) + FETCH_BLOCK_BYTES
+            chunk_end = boundary if boundary < end else end
+            holds_terminator = chunk_end == end
+            if holds_terminator and kind == conditional:
+                branch_pcs.append(end - INSTRUCTION_BYTES)
+                branch_outcomes.append(taken)
+            ends_taken = holds_terminator and terminator_taken
+            pos = chunk_end
+            if ends_taken or chunk_end == boundary:
+                append_out(FetchBlock(
+                    fb_start,
+                    (pos - fb_start) // INSTRUCTION_BYTES,
+                    branch_pcs, branch_outcomes, ends_taken))
+                fb_start = None
+                branch_pcs = []
+                branch_outcomes = []
+
+    if fb_start is not None:
+        # Flush the trailing partial block at end of trace.
+        append_out(FetchBlock(fb_start, (pos - fb_start) // INSTRUCTION_BYTES,
+                              branch_pcs, branch_outcomes, False))
+    return blocks_out
+
+
+_CACHE: "weakref.WeakKeyDictionary[Trace, list[FetchBlock]]" = (
+    weakref.WeakKeyDictionary())
+
+
+def fetch_blocks_for(trace: Trace) -> list[FetchBlock]:
+    """Memoised :func:`build_fetch_blocks` — fetch-block construction is pure
+    and every block-granular experiment on the same trace reuses the result."""
+    cached = _CACHE.get(trace)
+    if cached is None:
+        cached = build_fetch_blocks(trace)
+        _CACHE[trace] = cached
+    return cached

@@ -1,0 +1,125 @@
+"""Trace serialisation and on-disk caching.
+
+Traces are stored as compressed ``.npz`` files (one array per
+:class:`~repro.traces.model.Trace` field).  Synthetic workload generation is
+deterministic but not free, so :class:`TraceCache` memoises generated traces
+on disk keyed by ``(name, version, parameters digest)``; experiments and
+benches share one cache directory and regenerate only on a key miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.traces.model import Trace
+
+__all__ = ["save_trace", "load_trace", "TraceCache", "default_cache_dir"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | os.PathLike) -> None:
+    """Write a trace to ``path`` as a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.array([_FORMAT_VERSION]),
+        name=np.array([trace.name]),
+        starts=trace.starts,
+        num_instructions=trace.num_instructions,
+        kinds=trace.kinds,
+        takens=trace.takens,
+        next_starts=trace.next_starts,
+    )
+
+
+def load_trace(path: str | os.PathLike) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version} in {path}")
+        return Trace(
+            str(data["name"][0]),
+            data["starts"],
+            data["num_instructions"],
+            data["kinds"],
+            data["takens"],
+            data["next_starts"],
+        )
+
+
+def default_cache_dir() -> Path:
+    """Resolve the trace cache directory.
+
+    Overridable via the ``REPRO_TRACE_CACHE`` environment variable; defaults
+    to ``.trace_cache`` under the current working directory.
+    """
+    env = os.environ.get("REPRO_TRACE_CACHE")
+    if env:
+        return Path(env)
+    return Path.cwd() / ".trace_cache"
+
+
+class TraceCache:
+    """Disk-backed memoisation of trace generation.
+
+    >>> import tempfile
+    >>> cache = TraceCache(directory=tempfile.mkdtemp())
+    >>> calls = []
+    >>> def generate():
+    ...     from repro.traces.model import TraceBuilder, TerminatorKind
+    ...     calls.append(1)
+    ...     builder = TraceBuilder("demo")
+    ...     builder.add(0, 1, TerminatorKind.JUMP, True, 0)
+    ...     return builder.build()
+    >>> t1 = cache.get_or_generate("demo", {"n": 1}, generate)
+    >>> t2 = cache.get_or_generate("demo", {"n": 1}, generate)
+    >>> len(calls)
+    1
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self._memory: dict[str, Trace] = {}
+
+    def _key(self, name: str, parameters: dict) -> str:
+        canonical = json.dumps(parameters, sort_keys=True, default=str)
+        digest = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        return f"{name}-v{_FORMAT_VERSION}-{digest}"
+
+    def get_or_generate(self, name: str, parameters: dict,
+                        generate: Callable[[], Trace]) -> Trace:
+        """Return the cached trace for ``(name, parameters)``, generating and
+        persisting it on first use.  An in-memory layer avoids re-reading the
+        archive within a process."""
+        key = self._key(name, parameters)
+        trace = self._memory.get(key)
+        if trace is not None:
+            return trace
+        path = self.directory / f"{key}.npz"
+        if path.exists():
+            try:
+                trace = load_trace(path)
+            except (ValueError, OSError, KeyError):
+                trace = None  # Corrupt/stale cache entry: regenerate.
+        if trace is None:
+            trace = generate()
+            try:
+                save_trace(trace, path)
+            except OSError:
+                pass  # Read-only filesystem: still return the trace.
+        self._memory[key] = trace
+        return trace
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk entries are kept)."""
+        self._memory.clear()

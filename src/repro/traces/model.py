@@ -1,0 +1,238 @@
+"""Dynamic trace representation.
+
+The unit of the trace is the *basic-block execution*: a run of consecutive
+instructions ending with (at most) one control-flow instruction.  This is the
+natural output granularity of the synthetic program executor and carries
+exactly the information the EV8 front end consumes:
+
+* instruction addresses (for fetch-block construction and index functions),
+* conditional branch outcomes,
+* instruction counts (for the misp/KI metric).
+
+Instructions are 4 bytes, as on Alpha, so PC bits (4, 3, 2) identify an
+instruction's slot within an aligned 8-instruction (32-byte) fetch block —
+the bits the EV8 "unshuffle" stage permutes (Section 7.1).
+
+A :class:`Trace` stores the block stream as parallel numpy arrays and lazily
+derives the flat conditional-branch view used by per-branch predictor
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+__all__ = [
+    "INSTRUCTION_BYTES",
+    "TerminatorKind",
+    "BlockExecution",
+    "Trace",
+    "TraceBuilder",
+]
+
+INSTRUCTION_BYTES = 4
+"""Alpha instructions are fixed 4-byte words."""
+
+
+class TerminatorKind(IntEnum):
+    """How a basic block ends."""
+
+    FALLTHROUGH = 0
+    """No control-flow instruction: execution continues at the next address
+    (the block was split for layout reasons, e.g. function boundaries)."""
+
+    CONDITIONAL = 1
+    """Conditional branch: last instruction of the block."""
+
+    JUMP = 2
+    """Unconditional direct jump: always taken."""
+
+    CALL = 3
+    """Function call: always taken; pushes its fall-through address on the
+    hardware return-address stack (Alpha JSR carries this hint)."""
+
+    RETURN = 4
+    """Function return: always taken; target predicted by popping the
+    return-address stack (Alpha RET hint)."""
+
+
+@dataclass(frozen=True)
+class BlockExecution:
+    """One dynamic execution of a basic block.
+
+    Attributes
+    ----------
+    start:
+        Address of the first instruction.
+    num_instructions:
+        Number of instructions, including the terminator. Always >= 1.
+    kind:
+        Terminator kind.
+    taken:
+        Outcome of the terminator. Meaningful for ``CONDITIONAL`` blocks;
+        ``True`` for ``JUMP``/``CALL``/``RETURN``; ``False`` for
+        ``FALLTHROUGH``.
+    next_start:
+        Address of the next block's first instruction (branch target when
+        taken, fall-through otherwise).
+    """
+
+    start: int
+    num_instructions: int
+    kind: TerminatorKind
+    taken: bool
+    next_start: int
+
+    @property
+    def terminator_pc(self) -> int:
+        """Address of the last (terminator) instruction."""
+        return self.start + (self.num_instructions - 1) * INSTRUCTION_BYTES
+
+    @property
+    def end(self) -> int:
+        """Address one instruction past the block."""
+        return self.start + self.num_instructions * INSTRUCTION_BYTES
+
+
+class Trace:
+    """An immutable dynamic trace of basic-block executions.
+
+    Parameters are parallel arrays, one element per block execution; see
+    :class:`BlockExecution` for field meanings.  ``name`` identifies the
+    workload (used in reports and as a disk-cache key component).
+    """
+
+    __slots__ = ("name", "starts", "num_instructions", "kinds", "takens",
+                 "next_starts", "_branch_view", "__weakref__")
+
+    def __init__(self, name: str, starts: np.ndarray, num_instructions: np.ndarray,
+                 kinds: np.ndarray, takens: np.ndarray,
+                 next_starts: np.ndarray) -> None:
+        lengths = {len(starts), len(num_instructions), len(kinds), len(takens),
+                   len(next_starts)}
+        if len(lengths) != 1:
+            raise ValueError(f"trace arrays have mismatched lengths: {lengths}")
+        self.name = name
+        self.starts = np.asarray(starts, dtype=np.uint64)
+        self.num_instructions = np.asarray(num_instructions, dtype=np.uint16)
+        self.kinds = np.asarray(kinds, dtype=np.uint8)
+        self.takens = np.asarray(takens, dtype=np.bool_)
+        self.next_starts = np.asarray(next_starts, dtype=np.uint64)
+        self._branch_view: tuple[list[int], list[bool]] | None = None
+
+    # -- sizes ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of basic-block executions."""
+        return len(self.starts)
+
+    @property
+    def instruction_count(self) -> int:
+        """Total dynamic instruction count (denominator of misp/KI)."""
+        return int(self.num_instructions.sum(dtype=np.int64))
+
+    @property
+    def conditional_count(self) -> int:
+        """Number of dynamic conditional branches."""
+        return int((self.kinds == TerminatorKind.CONDITIONAL).sum())
+
+    # -- views ---------------------------------------------------------------
+
+    def branches(self) -> tuple[list[int], list[bool]]:
+        """Return ``(pcs, outcomes)`` for all dynamic conditional branches,
+        as plain Python lists (fast to iterate in the simulation loop)."""
+        if self._branch_view is None:
+            cond = self.kinds == TerminatorKind.CONDITIONAL
+            pcs = (self.starts[cond]
+                   + (self.num_instructions[cond].astype(np.uint64) - 1)
+                   * INSTRUCTION_BYTES)
+            self._branch_view = ([int(p) for p in pcs],
+                                 [bool(t) for t in self.takens[cond]])
+        return self._branch_view
+
+    def blocks(self):
+        """Iterate :class:`BlockExecution` objects (slow path, for tests and
+        fetch-block construction)."""
+        kind_values = [TerminatorKind(k) for k in (0, 1, 2, 3, 4)]
+        for start, n, kind, taken, nxt in zip(
+                self.starts, self.num_instructions, self.kinds, self.takens,
+                self.next_starts):
+            yield BlockExecution(int(start), int(n), kind_values[kind],
+                                 bool(taken), int(nxt))
+
+    def static_conditional_pcs(self) -> set[int]:
+        """The set of static conditional branch PCs exercised by the trace."""
+        pcs, _ = self.branches()
+        return set(pcs)
+
+    def taken_rate(self) -> float:
+        """Fraction of dynamic conditional branches that are taken."""
+        cond = self.kinds == TerminatorKind.CONDITIONAL
+        total = int(cond.sum())
+        if total == 0:
+            return 0.0
+        return float(self.takens[cond].sum()) / total
+
+    def slice(self, num_blocks: int, name: str | None = None) -> "Trace":
+        """Return a prefix of the trace with at most ``num_blocks`` blocks."""
+        n = min(num_blocks, len(self))
+        return Trace(name or self.name, self.starts[:n],
+                     self.num_instructions[:n], self.kinds[:n],
+                     self.takens[:n], self.next_starts[:n])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Trace({self.name!r}, blocks={len(self)}, "
+                f"instructions={self.instruction_count}, "
+                f"cond_branches={self.conditional_count})")
+
+
+@dataclass
+class TraceBuilder:
+    """Incrementally accumulate block executions, then freeze into a
+    :class:`Trace`.
+
+    >>> builder = TraceBuilder("demo")
+    >>> builder.add(0x1000, 3, TerminatorKind.CONDITIONAL, True, 0x2000)
+    >>> builder.add(0x2000, 1, TerminatorKind.JUMP, True, 0x1000)
+    >>> trace = builder.build()
+    >>> trace.conditional_count, trace.instruction_count
+    (1, 4)
+    """
+
+    name: str
+    starts: list[int] = field(default_factory=list)
+    num_instructions: list[int] = field(default_factory=list)
+    kinds: list[int] = field(default_factory=list)
+    takens: list[bool] = field(default_factory=list)
+    next_starts: list[int] = field(default_factory=list)
+
+    def add(self, start: int, num_instructions: int, kind: TerminatorKind,
+            taken: bool, next_start: int) -> None:
+        """Append one block execution."""
+        if num_instructions < 1:
+            raise ValueError(
+                f"a block execution needs at least 1 instruction, got {num_instructions}")
+        if start % INSTRUCTION_BYTES:
+            raise ValueError(f"block start {start:#x} is not instruction-aligned")
+        self.starts.append(start)
+        self.num_instructions.append(num_instructions)
+        self.kinds.append(int(kind))
+        self.takens.append(taken)
+        self.next_starts.append(next_start)
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def build(self) -> Trace:
+        """Freeze into an immutable :class:`Trace`."""
+        return Trace(
+            self.name,
+            np.array(self.starts, dtype=np.uint64),
+            np.array(self.num_instructions, dtype=np.uint16),
+            np.array(self.kinds, dtype=np.uint8),
+            np.array(self.takens, dtype=np.bool_),
+            np.array(self.next_starts, dtype=np.uint64),
+        )

@@ -1,0 +1,446 @@
+"""Branch behaviour models for synthetic workloads.
+
+The paper's evaluation runs on SPECINT95 traces.  Without those traces, we
+synthesise programs whose branches draw from the behaviour classes that
+branch-prediction research identifies in integer codes:
+
+* strongly/weakly biased static branches (the bimodal component's bread and
+  butter, Section 4.2's "strongly biased static branches"),
+* loop back-edges with characteristic trip counts,
+* branches correlated with the *global* outcome history at shallow or deep
+  lags (what makes long history lengths pay off — Section 5.3 / Fig 6),
+* branches following short *local* repeating patterns,
+* 2-state Markov (phase-switching) branches,
+* purely data-dependent (unpredictable) branches.
+
+Each behaviour is a deterministic function of the executor state plus a
+deterministic per-behaviour RNG stream, so a given program produces an
+identical trace on every run.
+
+The executor passes an :class:`ExecutionContext` giving behaviours read-only
+access to the architectural outcome history and per-branch occurrence
+counters.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.common.bitops import mask
+
+__all__ = [
+    "ExecutionContext",
+    "Behavior",
+    "BiasedBehavior",
+    "LoopBehavior",
+    "PatternBehavior",
+    "GlobalCorrelatedBehavior",
+    "LocalCorrelatedBehavior",
+    "MarkovBehavior",
+    "RandomBehavior",
+    "PredicatePool",
+    "PredicateBehavior",
+    "ConditionCell",
+    "ConditionLeaderBehavior",
+    "ConditionFollowerBehavior",
+]
+
+
+class ExecutionContext(Protocol):
+    """What a behaviour may observe about the executing program.
+
+    ``global_history`` packs the most recent conditional-branch outcomes as
+    an integer with bit 0 = most recent outcome (1 = taken).
+    ``occurrence(branch_id)`` counts prior executions of the branch.
+    ``time`` is the resolved-branch counter (drives
+    :class:`PredicatePool` evolution).
+    """
+
+    global_history: int
+    time: int
+
+    def occurrence(self, branch_id: int) -> int: ...
+
+
+class Behavior:
+    """Base class: a generator of outcomes for one static conditional branch.
+
+    Subclasses implement :meth:`outcome`. ``noise`` flips the model's answer
+    with the given probability, modelling data-dependent deviation from the
+    idealised behaviour.
+    """
+
+    __slots__ = ("noise", "_rng")
+
+    def __init__(self, rng: np.random.Generator, noise: float = 0.0) -> None:
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be a probability, got {noise}")
+        self.noise = noise
+        # Private child stream so behaviours cannot perturb one another.
+        self._rng = np.random.default_rng(rng.integers(0, 2**63))
+
+    def outcome(self, branch_id: int, ctx: ExecutionContext) -> bool:
+        """Return the idealised outcome; overridden by subclasses."""
+        raise NotImplementedError
+
+    def next(self, branch_id: int, ctx: ExecutionContext) -> bool:
+        """Return the emitted outcome (idealised outcome plus noise)."""
+        value = self.outcome(branch_id, ctx)
+        if self.noise and self._rng.random() < self.noise:
+            return not value
+        return value
+
+
+class BiasedBehavior(Behavior):
+    """IID Bernoulli branch: taken with probability ``p_taken``.
+
+    ``p_taken`` near 0 or 1 gives the strongly biased branches the bimodal
+    table excels at; ``p_taken`` near 0.5 gives hard data-dependent branches.
+    """
+
+    __slots__ = ("p_taken",)
+
+    def __init__(self, rng: np.random.Generator, p_taken: float,
+                 noise: float = 0.0) -> None:
+        super().__init__(rng, noise)
+        if not 0.0 <= p_taken <= 1.0:
+            raise ValueError(f"p_taken must be a probability, got {p_taken}")
+        self.p_taken = p_taken
+
+    def outcome(self, branch_id: int, ctx: ExecutionContext) -> bool:
+        return bool(self._rng.random() < self.p_taken)
+
+
+class RandomBehavior(BiasedBehavior):
+    """A fully unpredictable 50/50 branch."""
+
+    __slots__ = ()
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        super().__init__(rng, 0.5)
+
+
+class LoopBehavior(Behavior):
+    """Loop back-edge: taken ``trips - 1`` times, then not-taken once.
+
+    ``trip_jitter`` re-draws the trip count around the mean on each entry
+    (geometric-ish spread), modelling data-dependent loop bounds.  The
+    executor resets the behaviour at loop entry via :meth:`enter`.
+    """
+
+    __slots__ = ("mean_trips", "trip_jitter", "_remaining")
+
+    def __init__(self, rng: np.random.Generator, mean_trips: int,
+                 trip_jitter: float = 0.0, noise: float = 0.0) -> None:
+        super().__init__(rng, noise)
+        if mean_trips < 1:
+            raise ValueError(f"loops run at least once, got {mean_trips} trips")
+        self.mean_trips = mean_trips
+        self.trip_jitter = trip_jitter
+        self._remaining = self._draw_trips()
+
+    def _draw_trips(self) -> int:
+        if self.trip_jitter <= 0.0:
+            return self.mean_trips
+        spread = max(1.0, self.mean_trips * self.trip_jitter)
+        draw = self._rng.normal(self.mean_trips, spread)
+        return max(1, int(round(draw)))
+
+    def enter(self) -> None:
+        """Called by the executor at loop entry: draw this activation's
+        trip count."""
+        self._remaining = self._draw_trips()
+
+    def outcome(self, branch_id: int, ctx: ExecutionContext) -> bool:
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self.enter()
+            return False  # exit the loop
+        return True  # continue looping
+
+
+class PatternBehavior(Behavior):
+    """A branch following a fixed repeating outcome pattern.
+
+    Perfectly predictable from local history of length >= pattern period and
+    largely predictable from global history in stable control-flow phases.
+    """
+
+    __slots__ = ("pattern",)
+
+    def __init__(self, rng: np.random.Generator, pattern: list[bool] | str,
+                 noise: float = 0.0) -> None:
+        super().__init__(rng, noise)
+        if isinstance(pattern, str):
+            pattern = [c in "1tT" for c in pattern]
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = list(pattern)
+
+    def outcome(self, branch_id: int, ctx: ExecutionContext) -> bool:
+        return self.pattern[ctx.occurrence(branch_id) % len(self.pattern)]
+
+
+class GlobalCorrelatedBehavior(Behavior):
+    """A branch whose outcome is a fixed random Boolean function of selected
+    global-history lags.
+
+    ``lags`` are distances into the global outcome history (1 = previous
+    conditional branch).  The Boolean function is a random truth table drawn
+    once at construction, so the branch is *perfectly* predictable by any
+    predictor whose effective history window covers ``max(lags)`` — and looks
+    random to shorter-history predictors.  This is the mechanism that makes
+    "history longer than log2(table size)" pay off (Section 5.3, Fig 6).
+    """
+
+    __slots__ = ("lags", "_table")
+
+    def __init__(self, rng: np.random.Generator, lags: list[int],
+                 noise: float = 0.0) -> None:
+        super().__init__(rng, noise)
+        if not lags:
+            raise ValueError("need at least one history lag")
+        if any(lag < 1 for lag in lags):
+            raise ValueError(f"lags must be >= 1, got {lags}")
+        if len(lags) > 16:
+            raise ValueError(f"at most 16 lags supported, got {len(lags)}")
+        self.lags = sorted(set(lags))
+        table_size = 1 << len(self.lags)
+        self._table = [bool(b) for b in
+                       self._rng.integers(0, 2, size=table_size)]
+
+    @property
+    def depth(self) -> int:
+        """The history depth a predictor needs to capture this branch."""
+        return max(self.lags)
+
+    def outcome(self, branch_id: int, ctx: ExecutionContext) -> bool:
+        history = ctx.global_history
+        index = 0
+        for position, lag in enumerate(self.lags):
+            index |= ((history >> (lag - 1)) & 1) << position
+        return self._table[index]
+
+
+class LocalCorrelatedBehavior(Behavior):
+    """A branch whose outcome is a random function of its *own* recent
+    outcomes (order-``depth`` self-correlation).
+
+    Captured by local-history predictors directly; captured by global-history
+    predictors only when intervening control flow is stable.
+    """
+
+    __slots__ = ("depth", "_table", "_self_history")
+
+    def __init__(self, rng: np.random.Generator, depth: int,
+                 noise: float = 0.0) -> None:
+        super().__init__(rng, noise)
+        if not 1 <= depth <= 16:
+            raise ValueError(f"depth must be in 1..16, got {depth}")
+        self.depth = depth
+        self._table = [bool(b) for b in
+                       self._rng.integers(0, 2, size=1 << depth)]
+        self._self_history = 0
+
+    def outcome(self, branch_id: int, ctx: ExecutionContext) -> bool:
+        value = self._table[self._self_history & mask(self.depth)]
+        self._self_history = ((self._self_history << 1) | int(value))
+        return value
+
+
+class MarkovBehavior(Behavior):
+    """Two-state phase-switching branch: long runs of taken then long runs
+    of not-taken, with configurable persistence per state."""
+
+    __slots__ = ("p_stay_taken", "p_stay_not_taken", "_state")
+
+    def __init__(self, rng: np.random.Generator, p_stay_taken: float = 0.95,
+                 p_stay_not_taken: float = 0.95, noise: float = 0.0) -> None:
+        super().__init__(rng, noise)
+        for name, p in (("p_stay_taken", p_stay_taken),
+                        ("p_stay_not_taken", p_stay_not_taken)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        self.p_stay_taken = p_stay_taken
+        self.p_stay_not_taken = p_stay_not_taken
+        self._state = bool(self._rng.integers(0, 2))
+
+    def outcome(self, branch_id: int, ctx: ExecutionContext) -> bool:
+        stay = self.p_stay_taken if self._state else self.p_stay_not_taken
+        if self._rng.random() >= stay:
+            self._state = not self._state
+        return self._state
+
+
+class PredicatePool:
+    """A set of hidden, slowly-varying binary program predicates.
+
+    Real inter-branch correlation is *redundant*: many static branches test
+    the same program state (flags, loop bounds, object kinds), so the
+    information predicting one branch is reflected in several nearby branch
+    outcomes.  That redundancy is what makes the EV8's compressed lghist
+    carry as much usable information as full per-branch history (Section
+    8.3) — dropping individual bits loses little because the signal is
+    spread over many bits.
+
+    The pool models that state: ``size`` binary predicates, each flipping
+    with a small per-resolved-branch probability (so a predicate persists
+    for ~1/flip_probability branches).  Branch behaviours read predicates
+    through :class:`PredicateBehavior`; each reading branch *reflects* the
+    predicate into the architectural history stream.
+
+    Time is the executor's resolved-branch counter; the pool advances lazily
+    via pre-drawn geometric flip schedules, so reads are O(flips), not
+    O(branches).
+    """
+
+    __slots__ = ("size", "_values", "_flip_probabilities", "_next_flip",
+                 "_rng", "_time")
+
+    def __init__(self, rng: np.random.Generator, size: int,
+                 flip_probabilities) -> None:
+        if size < 1:
+            raise ValueError(f"pool needs at least one predicate, got {size}")
+        flip_probabilities = list(flip_probabilities)
+        if len(flip_probabilities) != size:
+            raise ValueError(
+                f"need one flip probability per predicate: {size} vs "
+                f"{len(flip_probabilities)}")
+        if any(not 0.0 < p < 1.0 for p in flip_probabilities):
+            raise ValueError("flip probabilities must be in (0, 1)")
+        self.size = size
+        self._rng = np.random.default_rng(rng.integers(0, 2**63))
+        self._values = [bool(b) for b in self._rng.integers(0, 2, size)]
+        self._flip_probabilities = flip_probabilities
+        self._time = 0
+        self._next_flip = [self._draw_flip(i, 0) for i in range(size)]
+
+    def _draw_flip(self, index: int, now: int) -> int:
+        return now + int(self._rng.geometric(self._flip_probabilities[index]))
+
+    def advance_to(self, time: int) -> None:
+        """Bring every predicate up to the given branch-time."""
+        if time <= self._time:
+            return
+        for index in range(self.size):
+            while self._next_flip[index] <= time:
+                self._values[index] = not self._values[index]
+                self._next_flip[index] = self._draw_flip(
+                    index, self._next_flip[index])
+        self._time = time
+
+    def value(self, index: int, time: int) -> bool:
+        """Current value of one predicate at branch-time ``time``."""
+        self.advance_to(time)
+        return self._values[index]
+
+    def mean_persistence(self, index: int) -> float:
+        """Expected branches between flips of a predicate."""
+        return 1.0 / self._flip_probabilities[index]
+
+
+class PredicateBehavior(Behavior):
+    """A branch testing one or more hidden predicates.
+
+    With a single predicate the outcome is the predicate (optionally
+    inverted) — a direct *reflection*, trivially learnable from any other
+    recent reflection of the same predicate.  With several predicates the
+    outcome is a fixed random Boolean function of them, learnable once the
+    history context pins all of them down.
+
+    The executor context must expose ``time`` (resolved-branch counter).
+    """
+
+    __slots__ = ("pool", "predicate_ids", "invert", "_table")
+
+    def __init__(self, rng: np.random.Generator, pool: PredicatePool,
+                 predicate_ids: list[int], noise: float = 0.0) -> None:
+        super().__init__(rng, noise)
+        if not predicate_ids:
+            raise ValueError("need at least one predicate id")
+        if any(not 0 <= i < pool.size for i in predicate_ids):
+            raise ValueError(
+                f"predicate ids out of range for pool of {pool.size}")
+        if len(predicate_ids) > 8:
+            raise ValueError(
+                f"at most 8 predicates per branch, got {len(predicate_ids)}")
+        self.pool = pool
+        self.predicate_ids = list(predicate_ids)
+        if len(self.predicate_ids) == 1:
+            self.invert = bool(self._rng.integers(0, 2))
+            self._table = None
+        else:
+            self.invert = False
+            self._table = [bool(b) for b in self._rng.integers(
+                0, 2, 1 << len(self.predicate_ids))]
+
+    def outcome(self, branch_id: int, ctx) -> bool:
+        time = ctx.time
+        if self._table is None:
+            return self.pool.value(self.predicate_ids[0], time) ^ self.invert
+        index = 0
+        for position, predicate in enumerate(self.predicate_ids):
+            index |= int(self.pool.value(predicate, time)) << position
+        return self._table[index]
+
+
+class ConditionCell:
+    """A shared transient condition: one leader branch computes it, several
+    follower branches re-test it.
+
+    This is the dominant source of *usable* global-history correlation in
+    integer code: the same freshly computed predicate (a comparison result,
+    a type tag, a flag) is tested by several nearby static branches.  The
+    first test is genuinely data-dependent; every later test is a
+    deterministic copy — predictable from *any* reflection of the condition
+    in the history, which is exactly the redundancy that lets the EV8's
+    block-compressed lghist match full branch history (Section 8.3).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = False
+
+
+class ConditionLeaderBehavior(Behavior):
+    """The branch that computes a shared condition: draws a fresh value with
+    probability ``p_taken`` on every execution and publishes it to the
+    cell."""
+
+    __slots__ = ("cell", "p_taken")
+
+    def __init__(self, rng: np.random.Generator, cell: ConditionCell,
+                 p_taken: float = 0.5, noise: float = 0.0) -> None:
+        super().__init__(rng, noise)
+        if not 0.0 <= p_taken <= 1.0:
+            raise ValueError(f"p_taken must be a probability, got {p_taken}")
+        self.cell = cell
+        self.p_taken = p_taken
+
+    def outcome(self, branch_id: int, ctx: ExecutionContext) -> bool:
+        self.cell.value = bool(self._rng.random() < self.p_taken)
+        return self.cell.value
+
+
+class ConditionFollowerBehavior(Behavior):
+    """A branch re-testing a shared condition (optionally inverted).
+
+    Unpredictable by a per-branch counter whenever the leader's draw is
+    balanced, but perfectly determined by the history window containing any
+    reflection of the cell since the leader last ran.
+    """
+
+    __slots__ = ("cell", "invert")
+
+    def __init__(self, rng: np.random.Generator, cell: ConditionCell,
+                 invert: bool | None = None, noise: float = 0.0) -> None:
+        super().__init__(rng, noise)
+        self.cell = cell
+        self.invert = (bool(self._rng.integers(0, 2)) if invert is None
+                       else invert)
+
+    def outcome(self, branch_id: int, ctx: ExecutionContext) -> bool:
+        return self.cell.value ^ self.invert

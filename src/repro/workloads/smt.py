@@ -1,0 +1,113 @@
+"""Simultaneous multithreading workloads (Section 3 of the paper).
+
+The EV8 is an SMT processor.  Section 3 argues a global-history scheme
+handles multithreading gracefully — "a global history register must be
+maintained per thread, and parallel threads from the same application
+benefit from constructive aliasing" — whereas thread interference on a
+local-history scheme "can be disastrous".
+
+This module interleaves several single-thread traces into an SMT fetch
+stream (round-robin at fetch-chunk granularity, as an ICOUNT-like policy
+would roughly produce) and simulates a *shared* predictor with either
+per-thread or shared history registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.history.providers import HistoryProvider
+from repro.predictors.base import Predictor
+from repro.sim.metrics import SimulationResult
+from repro.traces.fetch import FetchBlock, fetch_blocks_for
+from repro.traces.model import Trace
+
+__all__ = ["interleave_blocks", "SMTResult", "simulate_smt"]
+
+
+def interleave_blocks(traces: list[Trace],
+                      chunk_blocks: int = 4) -> list[tuple[int, FetchBlock]]:
+    """Round-robin interleave the fetch-block streams of several threads.
+
+    Returns ``(thread_id, block)`` pairs.  Streams that run out simply stop
+    contributing (the remaining threads keep the machine busy).
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    if chunk_blocks < 1:
+        raise ValueError(f"chunk_blocks must be >= 1, got {chunk_blocks}")
+    streams = [fetch_blocks_for(trace) for trace in traces]
+    positions = [0] * len(streams)
+    merged: list[tuple[int, FetchBlock]] = []
+    live = True
+    while live:
+        live = False
+        for thread_id, stream in enumerate(streams):
+            position = positions[thread_id]
+            if position >= len(stream):
+                continue
+            live = True
+            chunk = stream[position:position + chunk_blocks]
+            positions[thread_id] = position + len(chunk)
+            merged.extend((thread_id, block) for block in chunk)
+    return merged
+
+
+@dataclass(frozen=True)
+class SMTResult:
+    """Outcome of one SMT simulation."""
+
+    per_thread: list[SimulationResult]
+    total_branches: int
+    total_mispredictions: int
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.total_branches == 0:
+            return 0.0
+        return self.total_mispredictions / self.total_branches
+
+
+def simulate_smt(predictor: Predictor, traces: list[Trace],
+                 provider_factory: Callable[[], HistoryProvider],
+                 per_thread_history: bool = True,
+                 chunk_blocks: int = 4) -> SMTResult:
+    """Simulate one shared predictor over an interleaved SMT stream.
+
+    ``per_thread_history=True`` gives each thread its own provider (the
+    EV8 design: one global history register per thread); ``False`` shares a
+    single provider, so the history register sees the interleaved stream —
+    the pollution case the paper warns about.
+    """
+    thread_count = len(traces)
+    if per_thread_history:
+        providers = [provider_factory() for _ in range(thread_count)]
+    else:
+        shared = provider_factory()
+        providers = [shared] * thread_count
+    mispredictions = [0] * thread_count
+    branches = [0] * thread_count
+    for thread_id, block in interleave_blocks(traces, chunk_blocks):
+        provider = providers[thread_id]
+        if block.branch_pcs:
+            vectors = provider.begin_block(block)
+            for vector, taken in zip(vectors, block.branch_outcomes):
+                prediction = predictor.access(vector, taken)
+                branches[thread_id] += 1
+                if prediction != taken:
+                    mispredictions[thread_id] += 1
+        provider.end_block(block)
+    per_thread = [
+        SimulationResult(
+            predictor_name=predictor.name,
+            trace_name=trace.name,
+            branches=branches[thread_id],
+            mispredictions=mispredictions[thread_id],
+            instructions=trace.instruction_count,
+        )
+        for thread_id, trace in enumerate(traces)
+    ]
+    return SMTResult(per_thread=per_thread,
+                     total_branches=sum(branches),
+                     total_mispredictions=sum(mispredictions))

@@ -1,0 +1,58 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.history.providers import InfoVector
+from repro.traces.model import TerminatorKind, Trace, TraceBuilder
+from repro.workloads.spec95 import spec95_trace
+
+TEST_TRACE_BRANCHES = 15_000
+"""Trace length for integration-level tests: long enough for predictors to
+train, short enough to keep the suite fast."""
+
+
+def make_vector(pc: int = 0x1000, history: int = 0, address: int | None = None,
+                path: tuple[int, ...] = (0, 0, 0), bank: int = 0) -> InfoVector:
+    """A hand-built information vector for unit tests."""
+    return InfoVector(history=history,
+                      address=pc if address is None else address,
+                      branch_pc=pc, path=path, bank=bank)
+
+
+def simple_loop_trace(iterations: int = 200, name: str = "loop",
+                      taken_pattern=None) -> Trace:
+    """A trace of one conditional branch at 0x1008, executed ``iterations``
+    times with the given outcome pattern (default: always taken except the
+    final exit)."""
+    builder = TraceBuilder(name)
+    for i in range(iterations):
+        taken = (taken_pattern[i % len(taken_pattern)] if taken_pattern
+                 else i < iterations - 1)
+        builder.add(0x1000, 3, TerminatorKind.CONDITIONAL, taken,
+                    0x1000 if taken else 0x100C)
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def gcc_trace() -> Trace:
+    """A small gcc stand-in trace, shared session-wide."""
+    return spec95_trace("gcc", TEST_TRACE_BRANCHES)
+
+
+@pytest.fixture(scope="session")
+def vortex_trace() -> Trace:
+    """A small vortex stand-in trace (the most predictable benchmark)."""
+    return spec95_trace("vortex", TEST_TRACE_BRANCHES)
+
+
+@pytest.fixture(scope="session")
+def compress_trace() -> Trace:
+    return spec95_trace("compress", TEST_TRACE_BRANCHES)

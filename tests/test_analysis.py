@@ -1,0 +1,91 @@
+"""Tests for index-distribution quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.indexing.analysis import (
+    assess_indices,
+    coefficient_of_variation,
+    hot_fraction,
+    index_counts,
+    normalized_entropy,
+)
+
+
+class TestCounts:
+    def test_histogram(self):
+        counts = index_counts([0, 1, 1, 3], 4)
+        assert list(counts) == [1, 2, 0, 1]
+
+    def test_wraps_modulo_size(self):
+        counts = index_counts([5], 4)
+        assert counts[1] == 1
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            index_counts([0], 0)
+
+
+class TestEntropy:
+    def test_uniform_is_one(self):
+        counts = np.full(16, 5)
+        assert normalized_entropy(counts) == pytest.approx(1.0)
+
+    def test_single_hot_entry_is_zero(self):
+        counts = np.zeros(16, dtype=int)
+        counts[3] = 100
+        assert normalized_entropy(counts) == pytest.approx(0.0)
+
+    def test_empty_is_zero(self):
+        assert normalized_entropy(np.zeros(8, dtype=int)) == 0.0
+
+    def test_partial_use(self):
+        counts = np.zeros(4, dtype=int)
+        counts[0] = counts[1] = 10
+        assert normalized_entropy(counts) == pytest.approx(0.5)
+
+
+class TestCv:
+    def test_uniform_is_zero(self):
+        assert coefficient_of_variation(np.full(8, 3)) == 0.0
+
+    def test_empty_is_zero(self):
+        assert coefficient_of_variation(np.zeros(8)) == 0.0
+
+    def test_skewed_positive(self):
+        counts = np.array([100, 0, 0, 0])
+        assert coefficient_of_variation(counts) > 1.0
+
+
+class TestHotFraction:
+    def test_uniform(self):
+        counts = np.full(100, 2)
+        assert hot_fraction(counts, 0.1) == pytest.approx(0.1)
+
+    def test_fully_concentrated(self):
+        counts = np.zeros(100, dtype=int)
+        counts[7] = 50
+        assert hot_fraction(counts, 0.1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hot_fraction(np.ones(4), 0.0)
+
+
+class TestAssess:
+    def test_bundle(self):
+        quality = assess_indices(range(64), 64)
+        assert quality.entropy == pytest.approx(1.0)
+        assert quality.used_fraction == 1.0
+        assert quality.cv == pytest.approx(0.0)
+        assert "IndexQuality" in repr(quality)
+
+    def test_discriminates_good_from_bad(self):
+        """The metric must rank a hashed distribution above a clustered one
+        — this is the property Fig 9 turns on."""
+        clustered = assess_indices([i % 8 for i in range(1000)], 64)
+        spread = assess_indices([(i * 2654435761) % 64 for i in range(1000)],
+                                64)
+        assert spread.entropy > clustered.entropy
+        assert spread.used_fraction > clustered.used_fraction
+        assert spread.hot10 < clustered.hot10

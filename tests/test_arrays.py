@@ -1,0 +1,106 @@
+"""Tests for the physical wordline layout (Section 7.1)."""
+
+import pytest
+
+from repro.ev8.arrays import WordlineLayout
+from repro.ev8.config import EV8Config
+from repro.predictors.twobcgskew import TableConfig
+
+
+def small_config() -> EV8Config:
+    """A scaled-down EV8 (same 4x64-line grid, 1/16th the columns) so the
+    bijection can be checked exhaustively."""
+    return EV8Config(
+        bim=TableConfig(4 * 1024, 4, 4 * 1024),
+        g0=TableConfig(4 * 1024, 13, 2 * 1024),
+        g1=TableConfig(4 * 1024, 21),
+        meta=TableConfig(4 * 1024, 15, 2 * 1024),
+    )
+
+
+class TestGeometry:
+    def test_paper_wordline_composition(self):
+        """Section 7.1: "Each word line contains 32 8-bit prediction words
+        from G0, G1 and Meta, and 8 8-bit prediction words from BIM"."""
+        layout = WordlineLayout()
+        assert layout.words_per_line("BIM") == 8
+        assert layout.words_per_line("G0") == 32
+        assert layout.words_per_line("G1") == 32
+        assert layout.words_per_line("Meta") == 32
+        assert layout.wordlines == 64
+        assert layout.line_bits == (8 + 32 + 32 + 32) * 8
+
+    def test_total_capacity_matches_budget(self):
+        layout = WordlineLayout()
+        assert layout.total_prediction_bits() == 208 * 1024
+
+    def test_component_ranges_disjoint_and_covering(self):
+        layout = WordlineLayout()
+        covered = []
+        for table in ("BIM", "G0", "G1", "Meta"):
+            start, end = layout.component_bit_range(table)
+            covered.append((start, end))
+        covered.sort()
+        assert covered[0][0] == 0
+        for (a_start, a_end), (b_start, b_end) in zip(covered, covered[1:]):
+            assert a_end == b_start
+        assert covered[-1][1] == layout.line_bits
+
+
+class TestMapping:
+    def test_bijection_exhaustive_on_small_config(self):
+        layout = WordlineLayout(small_config())
+        seen = set()
+        count = 0
+        for table, index, coordinate in layout.enumerate_all("prediction"):
+            key = (coordinate.bank, coordinate.wordline, coordinate.bit)
+            assert key not in seen, (table, index, coordinate)
+            seen.add(key)
+            count += 1
+            assert 0 <= coordinate.bank < 4
+            assert 0 <= coordinate.wordline < 64
+            assert 0 <= coordinate.bit < layout.line_bits
+        assert count == 4 * 4 * 1024
+
+    def test_hysteresis_arrays_also_inject(self):
+        layout = WordlineLayout(small_config())
+        seen = set()
+        for table, index, coordinate in layout.enumerate_all("hysteresis"):
+            assert coordinate.array == "hysteresis"
+            key = (coordinate.bank, coordinate.wordline, coordinate.bit)
+            assert key not in seen
+            seen.add(key)
+
+    def test_index_decomposition_matches_read_pipeline(self):
+        from repro.ev8.indexfuncs import decompose_index
+        layout = WordlineLayout()
+        index = (0b10011 << 11) | (0b010110 << 5) | (0b101 << 2) | 0b01
+        bank, offset, line, column = decompose_index(index)
+        coordinate = layout.locate("G1", index)
+        assert coordinate.bank == bank
+        assert coordinate.wordline == line
+        start, _ = layout.component_bit_range("G1")
+        assert coordinate.bit == start + column * 8 + offset
+
+    def test_validation(self):
+        layout = WordlineLayout()
+        with pytest.raises(ValueError):
+            layout.locate("L1", 0)
+        with pytest.raises(ValueError):
+            layout.locate("G0", 1 << 20)
+        with pytest.raises(ValueError):
+            layout.locate("G0", 0, array="backup")
+        # BIM hysteresis is full-size; G0's is half: the half-size bound is
+        # enforced per array.
+        with pytest.raises(ValueError):
+            layout.locate("G0", 40 * 1024, array="hysteresis")
+
+    def test_same_block_words_are_contiguous(self):
+        """The 8 predictions of one fetch block (same bank/line/column,
+        offsets 0..7) occupy one contiguous 8-bit word — the 'single 8-bit
+        word' property of Section 6.1."""
+        layout = WordlineLayout()
+        base_index = (7 << 11) | (13 << 5) | (0 << 2) | 2
+        bits = [layout.locate("Meta", base_index | (offset << 2)).bit
+                for offset in range(8)]
+        assert bits == list(range(min(bits), min(bits) + 8))

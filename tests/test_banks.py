@@ -1,0 +1,100 @@
+"""Tests for the conflict-free bank number computation (Section 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ev8.banks import BankNumberGenerator, bank_number
+from repro.traces.fetch import fetch_blocks_for
+from repro.workloads.spec95 import spec95_trace
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1).map(lambda a: a & ~3)
+
+
+class TestBankNumber:
+    def test_uses_address_bits_6_5(self):
+        # (y6, y5) = 0b10 and no collision -> bank 2.
+        assert bank_number(0b100_0000, previous_bank=0) == 2
+        # (y6, y5) = 0b01 -> bank 1.
+        assert bank_number(0b010_0000, previous_bank=0) == 1
+
+    def test_collision_flips_low_bit(self):
+        assert bank_number(0b100_0000, previous_bank=2) == 3
+        assert bank_number(0b110_0000, previous_bank=3) == 2
+        assert bank_number(0, previous_bank=0) == 1
+
+    def test_rejects_invalid_bank(self):
+        with pytest.raises(ValueError):
+            bank_number(0, previous_bank=4)
+
+    @given(addresses, st.integers(0, 3))
+    def test_result_always_differs_from_previous(self, address, previous):
+        assert bank_number(address, previous) != previous
+
+    @given(addresses, st.integers(0, 3))
+    def test_result_in_range(self, address, previous):
+        assert 0 <= bank_number(address, previous) < 4
+
+    @given(addresses, addresses, st.integers(0, 3))
+    def test_depends_only_on_bits_6_5(self, address, other, previous):
+        """The hardware only wires y6 and y5 into the computation."""
+        merged = (other & ~0b1100000) | (address & 0b1100000)
+        assert bank_number(address, previous) == bank_number(merged, previous)
+
+
+class TestGenerator:
+    def test_successive_banks_always_distinct(self):
+        generator = BankNumberGenerator()
+        previous = None
+        for i in range(1000):
+            bank = generator.next_bank((i * 52) & ~3)
+            if previous is not None:
+                assert bank != previous
+            previous = bank
+
+    def test_two_block_ahead_semantics(self):
+        """The bank for block N must be computable from the address of block
+        N-2 and the bank of block N-1 alone (the Fig 3 timing argument)."""
+        generator = BankNumberGenerator()
+        stream = [(i * 36) & ~3 for i in range(100)]
+        banks = [generator.next_bank(address) for address in stream]
+        for n in range(2, len(stream)):
+            assert banks[n] == bank_number(stream[n - 2], banks[n - 1])
+
+    def test_bank_ignores_own_address(self):
+        """Changing block N's address must not change block N's bank
+        (it only affects N+2's)."""
+        stream = [(i * 44) & ~3 for i in range(10)]
+        reference = BankNumberGenerator()
+        banks = [reference.next_bank(a) for a in stream]
+        changed = BankNumberGenerator()
+        altered = list(stream)
+        altered[5] ^= 0b1100000  # flip the seed bits of block 5
+        banks_altered = [changed.next_bank(a) for a in altered]
+        assert banks_altered[5] == banks[5]
+        assert banks_altered[:5] == banks[:5]
+
+    def test_reset(self):
+        generator = BankNumberGenerator()
+        first_run = [generator.next_bank(a) for a in (0x40, 0x80, 0xC0)]
+        generator.reset()
+        second_run = [generator.next_bank(a) for a in (0x40, 0x80, 0xC0)]
+        assert first_run == second_run
+
+    def test_on_real_fetch_stream(self):
+        """The Section 6 guarantee over an actual workload's fetch-block
+        stream: zero conflicts between dynamically successive blocks."""
+        trace = spec95_trace("perl", 8000)
+        generator = BankNumberGenerator()
+        previous = None
+        conflicts = 0
+        usage = [0, 0, 0, 0]
+        for block in fetch_blocks_for(trace):
+            bank = generator.next_bank(block.start)
+            usage[bank] += 1
+            if previous is not None and bank == previous:
+                conflicts += 1
+            previous = bank
+        assert conflicts == 0
+        # All four banks must actually be used.
+        assert all(count > 0 for count in usage)

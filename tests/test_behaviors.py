@@ -1,0 +1,194 @@
+"""Tests for the branch behaviour models."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.behaviors import (
+    BiasedBehavior,
+    GlobalCorrelatedBehavior,
+    LocalCorrelatedBehavior,
+    LoopBehavior,
+    MarkovBehavior,
+    PatternBehavior,
+    RandomBehavior,
+)
+
+
+class FakeContext:
+    """Minimal ExecutionContext for driving behaviours directly."""
+
+    def __init__(self):
+        self.global_history = 0
+        self.counts = {}
+
+    def occurrence(self, branch_id):
+        return self.counts.get(branch_id, 0)
+
+    def record(self, branch_id, taken):
+        self.global_history = (self.global_history << 1) | int(taken)
+        self.counts[branch_id] = self.counts.get(branch_id, 0) + 1
+
+
+@pytest.fixture
+def ctx():
+    return FakeContext()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestBiased:
+    def test_extremes(self, rng, ctx):
+        always = BiasedBehavior(rng, 1.0)
+        never = BiasedBehavior(rng, 0.0)
+        assert all(always.next(0, ctx) for _ in range(50))
+        assert not any(never.next(0, ctx) for _ in range(50))
+
+    def test_rate_matches_probability(self, rng, ctx):
+        behavior = BiasedBehavior(rng, 0.2)
+        rate = sum(behavior.next(0, ctx) for _ in range(5000)) / 5000
+        assert rate == pytest.approx(0.2, abs=0.03)
+
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(ValueError):
+            BiasedBehavior(rng, 1.5)
+
+    def test_noise_flips(self, rng, ctx):
+        behavior = BiasedBehavior(rng, 1.0, noise=0.3)
+        rate = sum(behavior.next(0, ctx) for _ in range(5000)) / 5000
+        assert rate == pytest.approx(0.7, abs=0.03)
+
+    def test_rejects_bad_noise(self, rng):
+        with pytest.raises(ValueError):
+            BiasedBehavior(rng, 0.5, noise=-0.1)
+
+    def test_random_behavior_is_balanced(self, rng, ctx):
+        behavior = RandomBehavior(rng)
+        rate = sum(behavior.next(0, ctx) for _ in range(5000)) / 5000
+        assert rate == pytest.approx(0.5, abs=0.05)
+
+    def test_determinism_given_seed(self, ctx):
+        a = BiasedBehavior(np.random.default_rng(3), 0.5)
+        b = BiasedBehavior(np.random.default_rng(3), 0.5)
+        assert [a.next(0, ctx) for _ in range(30)] == [
+            b.next(0, ctx) for _ in range(30)]
+
+
+class TestLoop:
+    def test_fixed_trip_count(self, rng, ctx):
+        behavior = LoopBehavior(rng, mean_trips=4)
+        behavior.enter()
+        outcomes = [behavior.next(0, ctx) for _ in range(8)]
+        # taken, taken, taken, not-taken -- twice (auto re-enter).
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_single_trip_loop_always_exits(self, rng, ctx):
+        behavior = LoopBehavior(rng, mean_trips=1)
+        behavior.enter()
+        assert [behavior.next(0, ctx) for _ in range(4)] == [False] * 4
+
+    def test_rejects_zero_trips(self, rng):
+        with pytest.raises(ValueError):
+            LoopBehavior(rng, 0)
+
+    def test_jitter_draws_at_least_one(self, rng, ctx):
+        behavior = LoopBehavior(rng, mean_trips=2, trip_jitter=3.0)
+        for _ in range(50):
+            behavior.enter()
+            # Must terminate within a bounded number of iterations.
+            for _ in range(10000):
+                if not behavior.next(0, ctx):
+                    break
+            else:
+                pytest.fail("loop behaviour never exited")
+
+
+class TestPattern:
+    def test_string_pattern(self, rng, ctx):
+        behavior = PatternBehavior(rng, "110")
+        outcomes = []
+        for _ in range(6):
+            outcome = behavior.next(0, ctx)
+            outcomes.append(outcome)
+            ctx.record(0, outcome)
+        assert outcomes == [True, True, False, True, True, False]
+
+    def test_list_pattern(self, rng, ctx):
+        behavior = PatternBehavior(rng, [True, False])
+        outcome = behavior.next(0, ctx)
+        ctx.record(0, outcome)
+        assert outcome is True
+        assert behavior.next(0, ctx) is False
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            PatternBehavior(rng, "")
+
+
+class TestGlobalCorrelated:
+    def test_deterministic_function_of_lags(self, rng):
+        behavior = GlobalCorrelatedBehavior(rng, [1, 3])
+        ctx = FakeContext()
+        seen = {}
+        for history in range(16):
+            ctx.global_history = history
+            key = (history & 1, (history >> 2) & 1)
+            outcome = behavior.next(0, ctx)
+            if key in seen:
+                assert seen[key] == outcome
+            seen[key] = outcome
+
+    def test_depth(self, rng):
+        behavior = GlobalCorrelatedBehavior(rng, [2, 7, 5])
+        assert behavior.depth == 7
+        assert behavior.lags == [2, 5, 7]
+
+    def test_rejects_bad_lags(self, rng):
+        with pytest.raises(ValueError):
+            GlobalCorrelatedBehavior(rng, [])
+        with pytest.raises(ValueError):
+            GlobalCorrelatedBehavior(rng, [0])
+        with pytest.raises(ValueError):
+            GlobalCorrelatedBehavior(rng, list(range(1, 20)))
+
+    def test_duplicate_lags_deduplicated(self, rng):
+        behavior = GlobalCorrelatedBehavior(rng, [3, 3, 5])
+        assert behavior.lags == [3, 5]
+
+
+class TestLocalCorrelated:
+    def test_eventually_periodic(self, rng, ctx):
+        # A deterministic function of its own last outcomes must enter a
+        # cycle of length at most 2^depth.
+        behavior = LocalCorrelatedBehavior(rng, depth=3)
+        outcomes = [behavior.next(0, ctx) for _ in range(64)]
+        tail = outcomes[16:]
+        # Look for a period up to 8 in the tail.
+        assert any(
+            all(tail[i] == tail[i + period] for i in range(len(tail) - period))
+            for period in range(1, 9))
+
+    def test_rejects_bad_depth(self, rng):
+        with pytest.raises(ValueError):
+            LocalCorrelatedBehavior(rng, 0)
+        with pytest.raises(ValueError):
+            LocalCorrelatedBehavior(rng, 17)
+
+
+class TestMarkov:
+    def test_high_persistence_produces_runs(self, rng, ctx):
+        behavior = MarkovBehavior(rng, 0.99, 0.99)
+        outcomes = [behavior.next(0, ctx) for _ in range(2000)]
+        switches = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a != b)
+        assert switches < 80  # ~1% switch rate
+
+    def test_zero_persistence_alternates(self, rng, ctx):
+        behavior = MarkovBehavior(rng, 0.0, 0.0)
+        outcomes = [behavior.next(0, ctx) for _ in range(10)]
+        assert all(a != b for a, b in zip(outcomes, outcomes[1:]))
+
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(ValueError):
+            MarkovBehavior(rng, 1.2, 0.5)

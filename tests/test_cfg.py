@@ -1,0 +1,256 @@
+"""Tests for the synthetic program CFG: layout and execution invariants."""
+
+import numpy as np
+import pytest
+
+from repro.traces.model import INSTRUCTION_BYTES, TerminatorKind
+from repro.workloads.behaviors import BiasedBehavior, LoopBehavior, PatternBehavior
+from repro.workloads.cfg import (
+    CallNode,
+    DispatchNode,
+    Function,
+    IfNode,
+    LoopNode,
+    Program,
+    Sequence,
+    StaticBranch,
+    Straight,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def build_program(rng, body_factory, name="prog"):
+    """Wrap a body in a single function driven by a self-returning dispatch
+    (a bare CallNode as main would break address continuity across run()
+    iterations — callees return to the call site, and only DispatchNode
+    closes that loop)."""
+    function = Function("f0", body_factory())
+    dispatch = DispatchNode(rng, [function], np.array([[1.0]]))
+    return Program(name, [function], dispatch, code_base=0x1000)
+
+
+def check_contiguity(trace):
+    """Every block must start where the previous block said execution goes."""
+    previous = None
+    for block in trace.blocks():
+        if previous is not None:
+            if previous.kind == TerminatorKind.FALLTHROUGH:
+                assert block.start == previous.end
+            else:
+                assert block.start == previous.next_start
+        previous = block
+
+
+class TestLayout:
+    def test_straight_layout(self):
+        node = Straight(5)
+        assert node.layout(0x100) == 0x100 + 5 * INSTRUCTION_BYTES
+        assert node.start == 0x100
+
+    def test_straight_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Straight(-1)
+
+    def test_if_layout_assigns_branch_pc(self, rng):
+        branch = StaticBranch(0, BiasedBehavior(rng, 0.0))
+        node = IfNode(branch, Straight(2), lead=3)
+        end = node.layout(0x1000)
+        assert branch.pc == 0x1000 + 3 * INSTRUCTION_BYTES
+        assert end == branch.pc + INSTRUCTION_BYTES + 2 * INSTRUCTION_BYTES
+
+    def test_loop_layout_branch_at_bottom(self, rng):
+        branch = StaticBranch(0, LoopBehavior(rng, 3))
+        node = LoopNode(branch, Straight(4), lead=2)
+        end = node.layout(0x2000)
+        assert branch.pc == 0x2000 + (4 + 1) * INSTRUCTION_BYTES
+        assert end == branch.pc + INSTRUCTION_BYTES
+
+    def test_loop_rejects_zero_lead(self, rng):
+        branch = StaticBranch(0, LoopBehavior(rng, 3))
+        with pytest.raises(ValueError):
+            LoopNode(branch, Straight(1), lead=0)
+
+    def test_program_rejects_misaligned_base(self, rng):
+        function = Function("f", Straight(1))
+        with pytest.raises(ValueError):
+            Program("p", [function], CallNode(function), code_base=0x1002)
+
+    def test_functions_do_not_overlap(self, rng):
+        f0 = Function("f0", Straight(10))
+        f1 = Function("f1", Straight(3))
+        dispatch = DispatchNode(rng, [f0, f1],
+                                np.array([[0.5, 0.5], [0.5, 0.5]]))
+        program = Program("p", [f0, f1], dispatch, code_base=0x1000)
+        assert f1.entry >= f0.entry + 11 * INSTRUCTION_BYTES
+        assert program.code_end > f1.entry
+
+
+class TestExecution:
+    def test_if_not_taken_runs_then_body(self, rng):
+        branch = StaticBranch(0, BiasedBehavior(rng, 0.0))  # never taken
+        program = build_program(
+            rng, lambda: Sequence([IfNode(branch, Straight(2), lead=1)]))
+        trace = program.run(3)
+        check_contiguity(trace)
+        kinds = [b.kind for b in trace.blocks()]
+        # dispatch jump, cond block, then-body, handler-exit jump, (repeat)
+        assert TerminatorKind.FALLTHROUGH in kinds
+        assert TerminatorKind.JUMP in kinds
+        pcs, outcomes = trace.branches()
+        assert not any(outcomes)
+
+    def test_if_taken_skips_then_body(self, rng):
+        branch = StaticBranch(0, BiasedBehavior(rng, 1.0))  # always taken
+        program = build_program(
+            rng, lambda: Sequence([IfNode(branch, Straight(2), lead=1)]))
+        trace = program.run(3)
+        check_contiguity(trace)
+        # The then-body must never execute: no FALLTHROUGH block at its addr.
+        then_starts = {b.start for b in trace.blocks()
+                       if b.kind == TerminatorKind.FALLTHROUGH}
+        assert branch.pc + INSTRUCTION_BYTES not in then_starts
+
+    def test_if_else_emits_jump_over_else(self, rng):
+        branch = StaticBranch(0, BiasedBehavior(rng, 0.0))
+        node = IfNode(branch, Straight(2), Straight(3), lead=1)
+        program = build_program(rng, lambda: Sequence([node]))
+        trace = program.run(2)
+        check_contiguity(trace)
+
+    def test_loop_iterates_trip_count(self, rng):
+        branch = StaticBranch(0, LoopBehavior(rng, 4))
+        program = build_program(
+            rng, lambda: LoopNode(branch, Straight(2), lead=1))
+        trace = program.run(8)
+        pcs, outcomes = trace.branches()
+        # taken x3 then not-taken, repeating.
+        assert outcomes[:4] == [True, True, True, False]
+        check_contiguity(trace)
+
+    def test_pattern_behavior_in_if(self, rng):
+        branch = StaticBranch(0, PatternBehavior(rng, "10"))
+        program = build_program(
+            rng, lambda: Sequence([IfNode(branch, Straight(1), lead=1)]))
+        trace = program.run(6)
+        _, outcomes = trace.branches()
+        assert outcomes == [True, False, True, False, True, False]
+
+    def test_nested_call_returns_to_call_site(self, rng):
+        inner = Function("inner", Straight(2))
+        outer_body = Sequence([Straight(1), CallNode(inner), Straight(1)])
+        outer = Function("outer", outer_body)
+        # A conditional somewhere so run() terminates on branch count.
+        branch = StaticBranch(0, BiasedBehavior(rng, 0.5))
+        main_fn = Function("main", Sequence(
+            [CallNode(outer), IfNode(branch, Straight(1), lead=1)]))
+        dispatch = DispatchNode(rng, [main_fn], np.array([[1.0]]))
+        program = Program("p", [inner, outer, main_fn], dispatch,
+                          code_base=0x4000)
+        trace = program.run(4)
+        check_contiguity(trace)
+
+    def test_dispatch_follows_markov_chain(self, rng):
+        f0 = Function("f0", Straight(2))
+        f1 = Function("f1", Straight(2))
+        branch = StaticBranch(0, BiasedBehavior(rng, 0.5))
+        f2 = Function("f2", IfNode(branch, Straight(1), lead=1))
+        functions = [f0, f1, f2]
+        # Deterministic cycle f0 -> f1 -> f2 -> f0.
+        transition = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]], dtype=float)
+        dispatch = DispatchNode(rng, functions, transition)
+        program = Program("p", functions, dispatch, code_base=0x8000)
+        trace = program.run(3)
+        check_contiguity(trace)
+        entries = [b.next_start for b in trace.blocks()
+                   if b.kind == TerminatorKind.JUMP
+                   and b.next_start in {f.entry for f in functions}]
+        assert entries[:3] == [f0.entry, f1.entry, f2.entry]
+
+    def test_dispatch_validates_matrix(self, rng):
+        f0 = Function("f0", Straight(1))
+        with pytest.raises(ValueError):
+            DispatchNode(rng, [f0], np.array([[0.5]]))
+        with pytest.raises(ValueError):
+            DispatchNode(rng, [], np.zeros((0, 0)))
+
+    def test_run_stops_at_branch_budget(self, rng):
+        branch = StaticBranch(0, BiasedBehavior(rng, 0.5))
+        program = build_program(
+            rng, lambda: Sequence([IfNode(branch, Straight(1), lead=1)]))
+        trace = program.run(25)
+        assert trace.conditional_count == 25
+
+    def test_run_stops_at_block_budget(self, rng):
+        program = build_program(rng, lambda: Straight(2))
+        # No conditionals at all: only the block cap terminates execution.
+        trace = program.run(10, max_blocks=50)
+        assert len(trace) == 50
+
+    def test_unresolved_branch_detection(self, rng):
+        # A branch that is never laid out must be caught at construction.
+        branch = StaticBranch(0, BiasedBehavior(rng, 0.5))
+
+        class Broken(Straight):
+            def static_branches(self):
+                yield branch
+
+        function = Function("f", Broken(1))
+        dispatch = DispatchNode(rng, [function], np.array([[1.0]]))
+        with pytest.raises(RuntimeError, match="without addresses"):
+            Program("p", [function], dispatch, code_base=0x1000)
+
+
+class TestHistoryVisibility:
+    def test_executor_history_matches_outcome_stream(self, rng):
+        from repro.workloads.cfg import Executor
+
+        branch = StaticBranch(0, PatternBehavior(rng, "1101"))
+        program = build_program(
+            rng, lambda: Sequence([IfNode(branch, Straight(1), lead=1)]))
+        trace = program.run(8)
+        _, outcomes = trace.branches()
+        # Recompute what the architectural history should be.
+        expected = 0
+        for taken in outcomes:
+            expected = (expected << 1) | int(taken)
+        # The recorded trace outcomes equal the pattern stream.
+        assert outcomes == [True, True, False, True] * 2
+
+
+class TestCallReturnKinds:
+    def test_call_node_emits_call_and_return(self, rng):
+        inner = Function("inner", Straight(2))
+        main_fn = Function("main", Sequence(
+            [CallNode(inner),
+             IfNode(StaticBranch(0, BiasedBehavior(rng, 0.5)), Straight(1),
+                    lead=1)]))
+        dispatch = DispatchNode(rng, [main_fn], np.array([[1.0]]))
+        program = Program("p", [inner, main_fn], dispatch, code_base=0x4000)
+        trace = program.run(4)
+        kinds = [b.kind for b in trace.blocks()]
+        # The explicit CallNode produces a CALL and its callee a RETURN;
+        # the dispatch itself is threaded (JUMP in, JUMP out).
+        assert TerminatorKind.CALL in kinds
+        assert TerminatorKind.RETURN in kinds
+        assert TerminatorKind.JUMP in kinds
+
+    def test_return_targets_call_fallthrough(self, rng):
+        inner = Function("inner", Straight(2))
+        call = CallNode(inner)
+        main_fn = Function("main", Sequence(
+            [call, IfNode(StaticBranch(0, BiasedBehavior(rng, 0.5)),
+                          Straight(1), lead=1)]))
+        dispatch = DispatchNode(rng, [main_fn], np.array([[1.0]]))
+        Program("p", [inner, main_fn], dispatch, code_base=0x4000)
+        program = Program("p", [inner, main_fn], dispatch, code_base=0x4000)
+        trace = program.run(2)
+        returns = [b for b in trace.blocks()
+                   if b.kind == TerminatorKind.RETURN]
+        assert returns
+        from repro.traces.model import INSTRUCTION_BYTES
+        assert all(b.next_start == call.start + INSTRUCTION_BYTES
+                   for b in returns)

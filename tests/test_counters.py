@@ -1,0 +1,156 @@
+"""Tests for the split prediction/hysteresis counter arrays (Sections
+4.3-4.4 of the paper)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import SplitCounterArray
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            SplitCounterArray(48)
+
+    def test_rejects_non_power_of_two_hysteresis(self):
+        with pytest.raises(ValueError):
+            SplitCounterArray(64, 48)
+
+    def test_rejects_hysteresis_larger_than_prediction(self):
+        with pytest.raises(ValueError):
+            SplitCounterArray(64, 128)
+
+    def test_default_initial_state_weak_not_taken(self):
+        array = SplitCounterArray(16)
+        for index in range(16):
+            assert array.counter_value(index) == 1  # weak not-taken
+            assert not array.predict(index)
+
+    def test_init_taken(self):
+        array = SplitCounterArray(16, init_taken=True)
+        for index in range(16):
+            assert array.counter_value(index) == 2  # weak taken
+            assert array.predict(index)
+
+    def test_storage_accounting(self):
+        assert SplitCounterArray(64).storage_bits == 128
+        assert SplitCounterArray(64, 32).storage_bits == 96
+        assert len(SplitCounterArray(64)) == 64
+
+
+class TestSaturatingSemantics:
+    """The update must follow the conventional 2-bit automaton in the
+    (prediction, hysteresis) encoding."""
+
+    def test_full_walk_up(self):
+        array = SplitCounterArray(4)
+        array.set_counter(0, 0)  # strong not-taken
+        expected = [1, 2, 3, 3]  # weak NT -> weak T -> strong T -> saturate
+        for value in expected:
+            array.update(0, True)
+            assert array.counter_value(0) == value
+
+    def test_full_walk_down(self):
+        array = SplitCounterArray(4)
+        array.set_counter(0, 3)
+        expected = [2, 1, 0, 0]
+        for value in expected:
+            array.update(0, False)
+            assert array.counter_value(0) == value
+
+    def test_direction_flip_lands_weak(self):
+        array = SplitCounterArray(4)
+        array.set_counter(0, 1)  # weak not-taken
+        array.update(0, True)
+        assert array.counter_value(0) == 2  # weak taken, not strong
+
+    @given(st.integers(0, 3), st.lists(st.booleans(), max_size=30))
+    def test_matches_reference_automaton(self, start, outcomes):
+        array = SplitCounterArray(4)
+        array.set_counter(1, start)
+        reference = start
+        for taken in outcomes:
+            array.update(1, taken)
+            reference = min(3, reference + 1) if taken else max(0, reference - 1)
+            assert array.counter_value(1) == reference
+            assert array.predict(1) == (reference >= 2)
+
+
+class TestStrengthen:
+    def test_strengthen_sets_hysteresis_only(self):
+        array = SplitCounterArray(4)
+        array.set_counter(0, 2)  # weak taken
+        array.strengthen(0, True)
+        assert array.counter_value(0) == 3
+        # Idempotent.
+        array.strengthen(0, True)
+        assert array.counter_value(0) == 3
+
+    def test_strengthen_against_direction_weakens(self):
+        # Can happen when a majority vote was right but this bank was wrong.
+        array = SplitCounterArray(4)
+        array.set_counter(0, 3)  # strong taken
+        array.strengthen(0, False)
+        assert array.counter_value(0) == 2  # weakened one step
+
+
+class TestSharedHysteresis:
+    """Section 4.4: two prediction entries share one hysteresis entry; the
+    index differs only in the most significant bit."""
+
+    def test_partner_enumeration(self):
+        array = SplitCounterArray(8, 4)
+        assert array.sharing_partners(1) == [1, 5]
+        assert array.sharing_partners(5) == [1, 5]
+        private = SplitCounterArray(8)
+        assert private.sharing_partners(3) == [3]
+
+    def test_shared_strength_is_visible_to_partner(self):
+        array = SplitCounterArray(8, 4)
+        array.set_counter(0, 3)  # strong taken -> shared hysteresis set
+        # Partner entry 4 keeps its own direction but sees the hysteresis.
+        assert array.predict(4) is False
+        assert array.hysteresis(4) is True
+        # So the partner is now effectively STRONG not-taken.
+        assert array.counter_value(4) == 0
+
+    def test_partner_reset_scenario_from_paper(self):
+        """The Section 4.4 aliasing scenario: A keeps resetting the shared
+        hysteresis bit, but two consecutive accesses to B with no
+        intermediate access to A still let B flip its prediction bit."""
+        array = SplitCounterArray(8, 4)
+        a_index, b_index = 0, 4
+        # B is biased not-taken but currently predicts taken (wrong
+        # direction); A trains strongly taken (setting the shared bit).
+        array.set_counter(b_index, 2)
+        array.set_counter(a_index, 3)
+        # B mispredicts: first update clears the shared hysteresis...
+        array.update(b_index, False)
+        assert array.predict(b_index) is True  # still wrong
+        # ...A interferes by re-strengthening...
+        array.strengthen(a_index, True)
+        assert array.hysteresis(b_index) is True
+        # ...but two consecutive B accesses fix B regardless.
+        array.update(b_index, False)
+        array.update(b_index, False)
+        assert array.predict(b_index) is False
+
+    def test_reset(self):
+        array = SplitCounterArray(8, 4)
+        array.set_counter(2, 3)
+        array.reset()
+        assert array.counter_value(2) == 1
+
+    def test_set_counter_rejects_out_of_range(self):
+        array = SplitCounterArray(4)
+        with pytest.raises(ValueError):
+            array.set_counter(0, 4)
+
+
+class TestIndexWrapping:
+    def test_indices_wrap_modulo_size(self):
+        array = SplitCounterArray(8)
+        array.set_counter(3, 3)
+        assert array.predict(3 + 8) is True
+        assert array.counter_value(3 + 16) == 3

@@ -1,0 +1,88 @@
+"""Property-based stateful test: SplitCounterArray against a reference
+model of independent 2-bit saturating counters with (optionally shared)
+hysteresis."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.common.counters import SplitCounterArray
+
+SIZE = 16
+
+
+class ReferenceModel:
+    """Direct transcription of the paper's split-array semantics."""
+
+    def __init__(self, size, hysteresis_size):
+        self.size = size
+        self.hysteresis_size = hysteresis_size
+        self.prediction = [0] * size
+        self.hysteresis = [0] * hysteresis_size
+
+    def _h(self, index):
+        return index % self.hysteresis_size
+
+    def counter(self, index):
+        direction = self.prediction[index]
+        strength = self.hysteresis[self._h(index)]
+        return (2 + strength) if direction else (1 - strength)
+
+    def update(self, index, taken):
+        direction = self.prediction[index]
+        strength = self.hysteresis[self._h(index)]
+        if bool(direction) == taken:
+            self.hysteresis[self._h(index)] = 1
+        elif strength:
+            self.hysteresis[self._h(index)] = 0
+        else:
+            self.prediction[index] = int(taken)
+
+    def strengthen(self, index, taken):
+        if bool(self.prediction[index]) == taken:
+            self.hysteresis[self._h(index)] = 1
+        else:
+            self.update(index, taken)
+
+    def set_counter(self, index, value):
+        self.prediction[index] = 1 if value >= 2 else 0
+        self.hysteresis[self._h(index)] = 1 if value in (0, 3) else 0
+
+
+class CounterMachine(RuleBasedStateMachine):
+    @initialize(shared=st.booleans())
+    def setup(self, shared):
+        hysteresis = SIZE // 2 if shared else SIZE
+        self.array = SplitCounterArray(SIZE, hysteresis)
+        self.model = ReferenceModel(SIZE, hysteresis)
+
+    @rule(index=st.integers(0, SIZE - 1), taken=st.booleans())
+    def update(self, index, taken):
+        self.array.update(index, taken)
+        self.model.update(index, taken)
+
+    @rule(index=st.integers(0, SIZE - 1), taken=st.booleans())
+    def strengthen(self, index, taken):
+        self.array.strengthen(index, taken)
+        self.model.strengthen(index, taken)
+
+    @rule(index=st.integers(0, SIZE - 1), value=st.integers(0, 3))
+    def set_counter(self, index, value):
+        self.array.set_counter(index, value)
+        self.model.set_counter(index, value)
+
+    @invariant()
+    def states_agree(self):
+        if not hasattr(self, "array"):
+            return
+        for index in range(SIZE):
+            assert self.array.counter_value(index) == \
+                self.model.counter(index), index
+            assert self.array.predict(index) == \
+                (self.model.counter(index) >= 2), index
+
+
+TestCounterMachine = CounterMachine.TestCase
+TestCounterMachine.settings = settings(max_examples=40,
+                                       stateful_step_count=60,
+                                       deadline=None)

@@ -1,0 +1,169 @@
+"""Tests for the de-aliased schemes: bi-mode, YAGS, agree."""
+
+import pytest
+
+from conftest import make_vector
+from repro.predictors import AgreePredictor, BiModePredictor, YagsPredictor
+
+
+class TestBiMode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BiModePredictor(1000, 256, 8)
+        with pytest.raises(ValueError):
+            BiModePredictor(1024, 1000, 8)
+
+    def test_storage_matches_paper_config(self):
+        predictor = BiModePredictor(128 * 1024, 16 * 1024, 20)
+        assert predictor.storage_kbits == pytest.approx(544.0)
+
+    def test_choice_streams_branches(self):
+        predictor = BiModePredictor(1024, 256, 6)
+        vector = make_vector(pc=0x1000)
+        for _ in range(4):
+            predictor.access(vector, True)
+        assert predictor.predict(vector) is True
+
+    def test_direction_tables_start_opposite(self):
+        predictor = BiModePredictor(1024, 256, 6)
+        # The taken table initialises taken; not-taken table not-taken, so a
+        # fresh branch follows its choice-table stream immediately.
+        taken_vector = make_vector(pc=0x1000)
+        predictor.choice.set_counter((0x1000 >> 2) & 255, 3)
+        assert predictor.predict(taken_vector) is True
+
+    def test_unselected_table_untouched(self):
+        predictor = BiModePredictor(1024, 256, 6)
+        vector = make_vector(pc=0x1000, history=0b101)
+        # Choice starts not-taken: the not-taken table trains.
+        predictor.access(vector, False)
+        direction_index = predictor._indices(vector)[1]
+        assert predictor.taken_table.counter_value(direction_index) == 2
+        # ^ untouched initial weak-taken state
+
+    def test_choice_preserved_when_direction_corrects_it(self):
+        predictor = BiModePredictor(1024, 256, 6)
+        vector = make_vector(pc=0x1000)
+        choice_index = (0x1000 >> 2) & 255
+        direction_index = predictor._indices(vector)[1]
+        # Choice says not-taken, but the not-taken stream table has learned
+        # this context is (exceptionally) taken.
+        predictor.not_taken_table.set_counter(direction_index, 3)
+        before = predictor.choice.counter_value(choice_index)
+        assert predictor.access(vector, True) is True
+        # The choice disagreed with the outcome, but the direction table was
+        # right -> choice not updated.
+        assert predictor.choice.counter_value(choice_index) == before
+
+    def test_opposite_bias_branches_do_not_destroy_each_other(self):
+        """The de-aliasing property: a taken-biased and a not-taken-biased
+        branch mapping to the same direction-table index interfere less than
+        in gshare because they live in different stream tables."""
+        predictor = BiModePredictor(256, 1024, 0)
+        taken_branch = make_vector(pc=0x1000)
+        # Same direction index (history 0, aliasing pcs), different choice
+        # entries.
+        not_taken_branch = make_vector(pc=0x1000 + 256 * 4)
+        for _ in range(6):
+            predictor.access(taken_branch, True)
+            predictor.access(not_taken_branch, False)
+        assert predictor.predict(taken_branch) is True
+        assert predictor.predict(not_taken_branch) is False
+
+
+class TestYags:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YagsPredictor(1000, 256, 8)
+        with pytest.raises(ValueError):
+            YagsPredictor(1024, 256, 8, tag_bits=0)
+
+    def test_storage_matches_paper_config(self):
+        # 16K choice (2b) + 2 x 16K caches of (2b counter + 6b tag + valid).
+        predictor = YagsPredictor(16 * 1024, 16 * 1024, 23, tag_bits=6)
+        expected = (16 * 1024 * 2) + 2 * (16 * 1024 * (2 + 6 + 1))
+        assert predictor.storage_bits == expected
+
+    def test_bimodal_used_on_cache_miss(self):
+        predictor = YagsPredictor(256, 256, 4)
+        vector = make_vector(pc=0x1000)
+        predictor.choice.set_counter((0x1000 >> 2) & 255, 3)
+        assert predictor.predict(vector) is True  # no exception cached
+
+    def test_exception_allocated_on_choice_misprediction(self):
+        predictor = YagsPredictor(256, 256, 4)
+        vector = make_vector(pc=0x1000, history=0b1011)
+        # Train the bias taken.
+        for _ in range(3):
+            predictor.access(vector, True)
+        # Now this context becomes not-taken: first miss allocates into the
+        # not-taken cache...
+        predictor.access(vector, False)
+        # ...and the prediction for the context flips without destroying
+        # the bias for other contexts.
+        assert predictor.predict(vector) is False
+        other = make_vector(pc=0x1000, history=0b0100)
+        assert predictor.predict(other) is True
+
+    def test_tag_mismatch_is_a_miss(self):
+        predictor = YagsPredictor(256, 256, 4, tag_bits=6)
+        # Engineered collision: both vectors map to cache index 0, but with
+        # different 6-bit tags (index = pc_low8 XOR history<<4; tag =
+        # pc_low6).
+        a = make_vector(pc=0x1000, history=0)       # index 0, tag 0
+        b = make_vector(pc=0xC0, history=0b0011)    # index 0, tag 0x30
+        for _ in range(3):
+            predictor.access(a, True)
+        predictor.access(a, False)  # allocate exception for a (tag 0)
+        # b misses on tag and falls back to its bimodal bias.
+        assert predictor.predict(b) == predictor.choice.predict(
+            (b.branch_pc >> 2) & 255)
+
+    def test_choice_preserved_when_cache_corrects_it(self):
+        predictor = YagsPredictor(256, 256, 4)
+        vector = make_vector(pc=0x1000, history=0b1111)
+        for _ in range(3):
+            predictor.access(vector, True)   # bias taken
+        predictor.access(vector, False)      # allocate exception
+        choice_index = (0x1000 >> 2) & 255
+        before = predictor.choice.counter_value(choice_index)
+        predictor.access(vector, False)      # cache hit, correct
+        assert predictor.choice.counter_value(choice_index) == before
+
+
+class TestAgree:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgreePredictor(1000, 256, 8)
+
+    def test_first_outcome_becomes_bias(self):
+        predictor = AgreePredictor(256, 256, 4)
+        vector = make_vector(pc=0x1000)
+        predictor.access(vector, True)
+        assert predictor.predict(vector) is True
+
+    def test_agreement_encoding_dealiases(self):
+        """Two opposite-bias branches sharing an agree entry reinforce each
+        other as long as both follow their own bias."""
+        predictor = AgreePredictor(64, 1024, 0)
+        taken_branch = make_vector(pc=0x1000)
+        not_taken_branch = make_vector(pc=0x1000 + 64 * 4)  # same agree entry
+        predictor.access(taken_branch, True)      # bias: taken
+        predictor.access(not_taken_branch, False)  # bias: not-taken
+        for _ in range(5):
+            predictor.access(taken_branch, True)
+            predictor.access(not_taken_branch, False)
+        assert predictor.predict(taken_branch) is True
+        assert predictor.predict(not_taken_branch) is False
+
+    def test_disagree_learned(self):
+        predictor = AgreePredictor(256, 256, 4)
+        vector = make_vector(pc=0x1000, history=0b1010)
+        predictor.access(vector, True)  # bias taken
+        for _ in range(3):
+            predictor.access(vector, False)  # this context disagrees
+        assert predictor.predict(vector) is False
+
+    def test_storage(self):
+        predictor = AgreePredictor(1 << 12, 1 << 10, 8)
+        assert predictor.storage_bits == (2 << 12) + 2 * (1 << 10)

@@ -1,0 +1,95 @@
+"""Tests for the e-gskew predictor."""
+
+import pytest
+
+from conftest import make_vector
+from repro.predictors import EGskewPredictor
+
+
+class TestStructure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EGskewPredictor(100, 8)
+        with pytest.raises(ValueError):
+            EGskewPredictor(256, 8, update_policy="never")
+
+    def test_storage_is_three_banks(self):
+        assert EGskewPredictor(1 << 15, 15).storage_bits == 3 * (2 << 15)
+
+    def test_per_bank_history_lengths(self):
+        predictor = EGskewPredictor(256, 10, g0_history_length=5)
+        assert predictor.g0_history_length == 5
+        assert predictor.history_length == 10
+
+    def test_default_name(self):
+        assert EGskewPredictor(1 << 15, 15).name == "egskew-3x32K-h15"
+
+
+class TestVoting:
+    def test_majority_vote(self):
+        predictor = EGskewPredictor(256, 6)
+        vector = make_vector()
+        # Train twice taken: all three banks agree taken.
+        predictor.update(vector, True)
+        predictor.update(vector, True)
+        assert predictor.predict(vector) is True
+
+    def test_single_bank_cannot_flip_majority(self):
+        predictor = EGskewPredictor(256, 6)
+        vector = make_vector()
+        for _ in range(3):
+            predictor.update(vector, True)
+        bim_i, g0_i, g1_i = predictor._indices(vector)
+        # Corrupt one bank (simulating an aliasing steal).
+        predictor.g0.set_counter(g0_i, 0)
+        assert predictor.predict(vector) is True  # majority survives
+
+
+class TestPartialUpdate:
+    def test_correct_prediction_strengthens_only_correct_banks(self):
+        predictor = EGskewPredictor(256, 6)
+        vector = make_vector()
+        bim_i, g0_i, g1_i = predictor._indices(vector)
+        predictor.bim.set_counter(bim_i, 2)
+        predictor.g0.set_counter(g0_i, 2)
+        predictor.g1.set_counter(g1_i, 1)  # dissenting bank
+        assert predictor.access(vector, True) is True
+        assert predictor.bim.counter_value(bim_i) == 3
+        assert predictor.g0.counter_value(g0_i) == 3
+        assert predictor.g1.counter_value(g1_i) == 1  # untouched
+
+    def test_misprediction_updates_all_banks(self):
+        predictor = EGskewPredictor(256, 6)
+        vector = make_vector()
+        bim_i, g0_i, g1_i = predictor._indices(vector)
+        predictor.bim.set_counter(bim_i, 3)
+        predictor.g0.set_counter(g0_i, 3)
+        predictor.g1.set_counter(g1_i, 1)
+        assert predictor.access(vector, False) is True  # mispredicts
+        assert predictor.bim.counter_value(bim_i) == 2
+        assert predictor.g0.counter_value(g0_i) == 2
+        assert predictor.g1.counter_value(g1_i) == 0
+
+    def test_total_policy_touches_everything(self):
+        predictor = EGskewPredictor(256, 6, update_policy="total")
+        vector = make_vector()
+        bim_i, g0_i, g1_i = predictor._indices(vector)
+        predictor.bim.set_counter(bim_i, 2)
+        predictor.g0.set_counter(g0_i, 2)
+        predictor.g1.set_counter(g1_i, 1)
+        predictor.access(vector, True)
+        assert predictor.g1.counter_value(g1_i) == 2  # trained despite partial
+
+
+class TestDealiasing:
+    def test_survives_single_bank_collision(self):
+        """Two (pc, history) pairs colliding in one bank must still both
+        predict correctly — the core skewing property."""
+        predictor = EGskewPredictor(1 << 12, 10)
+        a = make_vector(pc=0x4000, history=0b1010101010)
+        b = make_vector(pc=0x8230, history=0b0101010101)
+        for _ in range(4):
+            predictor.access(a, True)
+            predictor.access(b, False)
+        assert predictor.predict(a) is True
+        assert predictor.predict(b) is False

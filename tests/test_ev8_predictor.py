@@ -1,0 +1,99 @@
+"""Tests for the integrated EV8 predictor."""
+
+import pytest
+
+from conftest import make_vector
+from repro.ev8.config import EV8Config
+from repro.ev8.predictor import EV8BranchPredictor
+from repro.history.providers import ev8_info_provider
+from repro.predictors.twobcgskew import TableConfig
+from repro.sim.driver import simulate
+
+
+class TestConstruction:
+    def test_default_is_table1(self):
+        predictor = EV8BranchPredictor()
+        assert predictor.storage_bits == 352 * 1024
+        sizes = predictor.table_sizes()
+        assert sizes["BIM"] == (16 * 1024, 16 * 1024)
+        assert sizes["G0"] == (64 * 1024, 32 * 1024)
+        assert sizes["G1"] == (64 * 1024, 64 * 1024)
+        assert sizes["Meta"] == (64 * 1024, 32 * 1024)
+
+    def test_invalid_config_rejected(self):
+        config = EV8Config(g0=TableConfig(32 * 1024, 13))
+        with pytest.raises(ValueError):
+            EV8BranchPredictor(config)
+
+    def test_make_provider(self):
+        provider = EV8BranchPredictor.make_provider()
+        assert provider._lghist.delay_blocks == 3
+        assert provider._lghist.include_path is True
+
+
+class TestPhysicalViews:
+    def test_physical_location(self):
+        predictor = EV8BranchPredictor()
+        vector = make_vector(pc=0x1008, history=0xABC, bank=2,
+                             path=(0x40, 0x80, 0xC0))
+        bank, offset, line, column = predictor.physical_location(vector, "G1")
+        assert bank == 2
+        assert 0 <= offset < 8
+        assert 0 <= line < 64
+        assert 0 <= column < 32
+        bim = predictor.physical_location(vector, "BIM")
+        assert 0 <= bim[3] < 8  # BIM has 3 column bits
+
+    def test_physical_location_validates_table(self):
+        predictor = EV8BranchPredictor()
+        with pytest.raises(ValueError):
+            predictor.physical_location(make_vector(), "L2")
+
+    def test_predict_block_single_access(self):
+        predictor = EV8BranchPredictor()
+        base = dict(history=0x123, address=0x2000,
+                    path=(0x40, 0x80, 0xC0), bank=1)
+        vectors = [make_vector(pc=0x2000 + 4 * slot, **base)
+                   for slot in range(8)]
+        predictions = predictor.predict_block(vectors)
+        assert len(predictions) == 8
+        assert predictor.predict_block([]) == []
+
+    def test_predict_block_rejects_mixed_blocks(self):
+        predictor = EV8BranchPredictor()
+        a = make_vector(pc=0x2000, history=0x123, address=0x2000, bank=1)
+        b = make_vector(pc=0x9000, history=0x456, address=0x9000, bank=2)
+        with pytest.raises(ValueError, match="single fetch block"):
+            predictor.predict_block([a, b])
+
+
+class TestAccuracy:
+    def test_learns_biased_branch(self):
+        predictor = EV8BranchPredictor()
+        vector = make_vector(pc=0x1000, history=0x1F, bank=1)
+        for _ in range(4):
+            predictor.access(vector, True)
+        assert predictor.predict(vector) is True
+
+    def test_end_to_end_beats_bimodal(self):
+        """The full EV8 must beat a same-budget bimodal table on a
+        correlation-rich workload once its large tables have warmed (the
+        352 Kbit predictor needs a few tens of thousands of branches)."""
+        from repro.predictors import BimodalPredictor
+        from repro.workloads.spec95 import spec95_trace
+        trace = spec95_trace("gcc", 60_000)
+        ev8 = simulate(EV8BranchPredictor(), trace, ev8_info_provider())
+        bimodal = simulate(BimodalPredictor(128 * 1024), trace)
+        assert ev8.mispredictions < bimodal.mispredictions * 0.92
+
+    def test_reasonable_accuracy_on_predictable_workload(self, vortex_trace):
+        result = simulate(EV8BranchPredictor(), vortex_trace,
+                          ev8_info_provider())
+        assert result.misprediction_rate < 0.10
+
+    def test_deterministic(self, compress_trace):
+        a = simulate(EV8BranchPredictor(), compress_trace,
+                     ev8_info_provider())
+        b = simulate(EV8BranchPredictor(), compress_trace,
+                     ev8_info_provider())
+        assert a.mispredictions == b.mispredictions

@@ -1,0 +1,65 @@
+"""Smoke tests for the example scripts and the library's doctests."""
+
+import doctest
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "li", "8000")
+        assert "352 Kbits" in out
+        assert "misp/KI" in out
+
+    def test_smt_interference(self):
+        out = run_example("smt_interference.py", "6000")
+        assert "per-thread history" in out.lower() or "history register" in out
+        assert "mispredictions" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "2Bc-gskew" in out
+        assert "static conditional branches" in out
+
+    def test_all_examples_compile(self):
+        for script in EXAMPLES.glob("*.py"):
+            source = script.read_text()
+            compile(source, str(script), "exec")
+
+
+DOCTEST_MODULES = [
+    "repro.common.bitops",
+    "repro.common.rng",
+    "repro.indexing.skew",
+    "repro.ev8.banks",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_doctests(module_name):
+    import importlib
+    module = importlib.import_module(module_name)
+    failures, tests = doctest.testmod(module).failed, \
+        doctest.testmod(module).attempted
+    assert tests > 0, f"{module_name} has no doctests"
+    assert failures == 0
+
+
+def test_trace_io_doctest(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    import repro.traces.io as io_module
+    result = doctest.testmod(io_module)
+    assert result.failed == 0

@@ -1,0 +1,101 @@
+"""Property tests for the pluggable index schemes (SkewedIndexScheme and
+EV8IndexScheme) over randomised information vectors."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_vector
+from repro.ev8.config import EV8_CONFIG
+from repro.ev8.indexfuncs import EV8IndexScheme
+from repro.predictors.twobcgskew import SkewedIndexScheme, TableConfig
+
+CONFIGS = (TableConfig(16 * 1024, 0), TableConfig(64 * 1024, 13),
+           TableConfig(64 * 1024, 21), TableConfig(64 * 1024, 15))
+
+vectors = st.builds(
+    make_vector,
+    pc=st.integers(0, 2**30 - 1).map(lambda v: v & ~3),
+    history=st.integers(0, 2**40 - 1),
+    path=st.tuples(st.integers(0, 2**20), st.integers(0, 2**20),
+                   st.integers(0, 2**20)),
+    bank=st.integers(0, 3),
+)
+
+
+class TestSkewedScheme:
+    @given(vectors)
+    @settings(max_examples=150, deadline=None)
+    def test_indices_in_range(self, vector):
+        for use_path in (False, True):
+            scheme = SkewedIndexScheme(use_path_addresses=use_path)
+            indices = scheme.compute(vector, CONFIGS)
+            for index, config in zip(indices, CONFIGS):
+                assert 0 <= index < config.entries
+
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_path_only_matters_when_enabled(self, vector):
+        plain = SkewedIndexScheme(use_path_addresses=False)
+        no_path = make_vector(pc=vector.branch_pc, history=vector.history,
+                              address=vector.address, path=(0, 0, 0),
+                              bank=vector.bank)
+        assert plain.compute(vector, CONFIGS) == plain.compute(no_path,
+                                                               CONFIGS)
+
+    def test_path_changes_indices_when_enabled(self):
+        scheme = SkewedIndexScheme(use_path_addresses=True)
+        a = make_vector(history=0x123, path=(0x40, 0x80, 0xC0))
+        b = make_vector(history=0x123, path=(0x44, 0x80, 0xC0))
+        assert scheme.compute(a, CONFIGS) != scheme.compute(b, CONFIGS)
+
+    def test_banks_differ_per_table(self):
+        """The skewing property: the three global tables disagree on where
+        a vector goes for almost all vectors."""
+        scheme = SkewedIndexScheme()
+        disagreements = 0
+        for seed in range(200):
+            vector = make_vector(pc=seed * 52, history=seed * 977)
+            _, g0, g1, meta = scheme.compute(vector, CONFIGS)
+            if len({g0, g1, meta}) == 3:
+                disagreements += 1
+        assert disagreements > 180
+
+
+class TestEV8Scheme:
+    @given(vectors)
+    @settings(max_examples=150, deadline=None)
+    def test_indices_in_range(self, vector):
+        for mode in ("history", "address"):
+            for use_bank in (True, False):
+                scheme = EV8IndexScheme(wordline_mode=mode,
+                                        use_block_bank=use_bank)
+                indices = scheme.compute(vector, EV8_CONFIG.tables())
+                for index, config in zip(indices, EV8_CONFIG.tables()):
+                    assert 0 <= index < config.entries
+
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_block_cohesion_for_random_blocks(self, vector):
+        """All 8 slots of any aligned block land in one word of each table
+        — required for the single-read-per-block hardware."""
+        from repro.ev8.indexfuncs import decompose_index
+        scheme = EV8IndexScheme()
+        block_base = vector.branch_pc & ~31
+        per_table_words = [set() for _ in range(4)]
+        for slot in range(8):
+            slot_vector = make_vector(
+                pc=block_base + slot * 4, history=vector.history,
+                address=vector.address, path=vector.path, bank=vector.bank)
+            for table, index in enumerate(
+                    scheme.compute(slot_vector, EV8_CONFIG.tables())):
+                bank, _, line, column = decompose_index(
+                    index, 3 if table == 0 else 5)
+                per_table_words[table].add((bank, line, column))
+        assert all(len(words) == 1 for words in per_table_words)
+
+    @given(vectors, vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_deterministic(self, a, b):
+        scheme = EV8IndexScheme()
+        assert scheme.compute(a, EV8_CONFIG.tables()) == \
+            scheme.compute(a, EV8_CONFIG.tables())

@@ -1,0 +1,87 @@
+"""Tests for the aliasing/interference analysis tool."""
+
+import pytest
+
+from conftest import simple_loop_trace
+from repro.history.providers import BranchGhistProvider
+from repro.indexing.fold import gshare_index
+from repro.sim.interference import measure_interference
+from repro.traces.model import TerminatorKind, TraceBuilder
+
+
+def pc_index(entries):
+    return lambda vector: (vector.branch_pc >> 2) % entries
+
+
+class TestClassification:
+    def test_single_branch_is_never_aliased(self):
+        trace = simple_loop_trace(iterations=100, taken_pattern=[True])
+        report = measure_interference(pc_index(64), 64, trace,
+                                      BranchGhistProvider(), history_mask=0)
+        assert report.cold == 1
+        assert report.non_aliased == 99
+        assert report.neutral == 0
+        assert report.destructive == 0
+        assert report.accesses == 100
+        assert report.entries_touched == 1
+
+    def test_agreeing_aliases_are_neutral(self):
+        builder = TraceBuilder("agree")
+        for _ in range(50):
+            # Two branches, same direction, aliasing to entry 0 of a 1-entry
+            # table.
+            builder.add(0x1000, 1, TerminatorKind.CONDITIONAL, True, 0x2000)
+            builder.add(0x2000, 1, TerminatorKind.CONDITIONAL, True, 0x1000)
+        report = measure_interference(pc_index(1), 1, builder.build(),
+                                      BranchGhistProvider(), history_mask=0)
+        assert report.destructive == 0
+        assert report.neutral == report.accesses - 1
+
+    def test_disagreeing_aliases_are_destructive(self):
+        builder = TraceBuilder("fight")
+        for _ in range(50):
+            builder.add(0x1000, 1, TerminatorKind.CONDITIONAL, True, 0x2000)
+            builder.add(0x2000, 1, TerminatorKind.CONDITIONAL, False, 0x2004)
+            builder.add(0x2004, 1, TerminatorKind.JUMP, True, 0x1000)
+        report = measure_interference(pc_index(1), 1, builder.build(),
+                                      BranchGhistProvider(), history_mask=0)
+        assert report.destructive == report.accesses - 1
+        assert report.destructive_fraction > 0.95
+
+    def test_big_table_separates_streams(self):
+        builder = TraceBuilder("apart")
+        for _ in range(50):
+            builder.add(0x1000, 1, TerminatorKind.CONDITIONAL, True, 0x2000)
+            builder.add(0x2000, 1, TerminatorKind.CONDITIONAL, False, 0x2004)
+            builder.add(0x2004, 1, TerminatorKind.JUMP, True, 0x1000)
+        # 4096 entries: pc>>2 = 0x400 and 0x800 map to distinct entries.
+        report = measure_interference(pc_index(4096), 4096, builder.build(),
+                                      BranchGhistProvider(), history_mask=0)
+        assert report.destructive == 0
+        assert report.entries_touched == 2
+        assert report.utilization == pytest.approx(2 / 4096)
+
+    def test_validation(self):
+        trace = simple_loop_trace(iterations=5)
+        with pytest.raises(ValueError):
+            measure_interference(pc_index(1), 0, trace,
+                                 BranchGhistProvider())
+
+
+class TestOnWorkloads:
+    def test_smaller_tables_more_destructive(self, gcc_trace):
+        def run(entries):
+            return measure_interference(
+                lambda vector: gshare_index(vector.branch_pc, vector.history,
+                                            10, entries.bit_length() - 1),
+                entries, gcc_trace, BranchGhistProvider())
+        small = run(1 << 8)
+        large = run(1 << 16)
+        assert small.destructive_fraction > large.destructive_fraction
+        assert small.utilization > large.utilization
+
+    def test_report_string(self, compress_trace):
+        report = measure_interference(pc_index(256), 256, compress_trace,
+                                      BranchGhistProvider(), history_mask=0)
+        text = str(report)
+        assert "destructive" in text and "utilization" in text

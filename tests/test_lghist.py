@@ -1,0 +1,116 @@
+"""Tests for lghist: block compression, path bit, fetch-block-age delay
+(Section 5.1 of the paper)."""
+
+import pytest
+
+from repro.history.lghist import LghistRegister, lghist_bit
+from repro.traces.fetch import FetchBlock
+
+
+def block(start=0x1000, branch_pcs=(), branch_outcomes=(), ended_taken=False,
+          n=4):
+    return FetchBlock(start, n, list(branch_pcs), list(branch_outcomes),
+                      ended_taken)
+
+
+class TestLghistBit:
+    def test_no_conditional_no_bit(self):
+        assert lghist_bit(block()) is None
+
+    def test_outcome_only_without_path(self):
+        taken_block = block(branch_pcs=[0x1008], branch_outcomes=[True])
+        assert lghist_bit(taken_block, include_path=False) == 1
+        not_taken = block(branch_pcs=[0x1008], branch_outcomes=[False])
+        assert lghist_bit(not_taken, include_path=False) == 0
+
+    def test_path_bit_is_pc_bit_4(self):
+        # PC 0x1008: bit 4 = 0 -> bit equals the outcome.
+        assert lghist_bit(block(branch_pcs=[0x1008],
+                                branch_outcomes=[True])) == 1
+        # PC 0x1010: bit 4 = 1 -> bit is the outcome inverted.
+        assert lghist_bit(block(branch_pcs=[0x1010],
+                                branch_outcomes=[True])) == 0
+        assert lghist_bit(block(branch_pcs=[0x1010],
+                                branch_outcomes=[False])) == 1
+
+    def test_last_branch_selected(self):
+        multi = block(branch_pcs=[0x1000, 0x1008], branch_outcomes=[True, False])
+        assert lghist_bit(multi, include_path=False) == 0
+
+
+class TestRegisterNoDelay:
+    def test_shift_order(self):
+        register = LghistRegister(include_path=False)
+        register.push_block(block(branch_pcs=[0x0], branch_outcomes=[True]))
+        register.push_block(block(branch_pcs=[0x0], branch_outcomes=[False]))
+        register.push_block(block(branch_pcs=[0x0], branch_outcomes=[True]))
+        assert register.value() == 0b101
+
+    def test_blocks_without_branches_insert_nothing(self):
+        register = LghistRegister(include_path=False)
+        register.push_block(block(branch_pcs=[0x0], branch_outcomes=[True]))
+        register.push_block(block())  # no conditional
+        register.push_block(block())
+        assert register.value() == 0b1
+
+    def test_capacity(self):
+        register = LghistRegister(include_path=False, capacity=2)
+        for outcome in (True, True, True, False):
+            register.push_block(block(branch_pcs=[0x0],
+                                      branch_outcomes=[outcome]))
+        assert register.value() == 0b10
+
+    def test_value_length_mask(self):
+        register = LghistRegister(include_path=False)
+        for outcome in (True, True, True):
+            register.push_block(block(branch_pcs=[0x0],
+                                      branch_outcomes=[outcome]))
+        assert register.value(2) == 0b11
+        with pytest.raises(ValueError):
+            register.value(100)
+
+
+class TestDelay:
+    """The delay is measured in fetch *blocks*, not history bits: blocks
+    without conditional branches advance the pipeline too."""
+
+    def test_bits_invisible_for_delay_blocks(self):
+        register = LghistRegister(include_path=False, delay_blocks=3)
+        register.push_block(block(branch_pcs=[0x0], branch_outcomes=[True]))
+        assert register.value() == 0  # still in flight
+        register.push_block(block(branch_pcs=[0x0], branch_outcomes=[False]))
+        register.push_block(block(branch_pcs=[0x0], branch_outcomes=[False]))
+        assert register.value() == 0  # three blocks pending
+        register.push_block(block(branch_pcs=[0x0], branch_outcomes=[False]))
+        assert register.value() == 0b1  # the first bit just landed
+
+    def test_branchless_blocks_advance_the_pipeline(self):
+        register = LghistRegister(include_path=False, delay_blocks=3)
+        register.push_block(block(branch_pcs=[0x0], branch_outcomes=[True]))
+        for _ in range(3):
+            register.push_block(block())  # no branches
+        assert register.value() == 0b1
+
+    def test_delay_zero_equals_immediate(self):
+        immediate = LghistRegister(include_path=False, delay_blocks=0)
+        delayed = LghistRegister(include_path=False, delay_blocks=2)
+        stream = [block(branch_pcs=[0x0], branch_outcomes=[i % 3 == 0])
+                  for i in range(20)]
+        for b in stream:
+            immediate.push_block(b)
+            delayed.push_block(b)
+        # After the same stream, the delayed register equals the immediate
+        # register as it was 2 blocks (= 2 bits here) earlier.
+        assert delayed.value() == immediate.value() >> 2
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            LghistRegister(delay_blocks=-1)
+
+    def test_reset_clears_pending(self):
+        register = LghistRegister(include_path=False, delay_blocks=2)
+        register.push_block(block(branch_pcs=[0x0], branch_outcomes=[True]))
+        register.reset()
+        for _ in range(3):
+            register.push_block(block())
+        assert register.value() == 0

@@ -1,0 +1,93 @@
+"""Tests for the local two-level predictor and the 21264-style tournament."""
+
+import pytest
+
+from conftest import make_vector
+from repro.predictors import LocalPredictor, TournamentPredictor
+
+
+class TestLocal:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalPredictor(1024, 10, 1000)
+
+    def test_learns_local_pattern(self):
+        """An alternating branch is perfectly predictable from local
+        history, independent of global history noise."""
+        predictor = LocalPredictor(64, 6, 1024)
+        correct = 0
+        outcome = True
+        import random
+        noise = random.Random(3)
+        for trial in range(200):
+            vector = make_vector(pc=0x1000, history=noise.getrandbits(12))
+            if predictor.access(vector, outcome) == outcome and trial > 50:
+                correct += 1
+            outcome = not outcome
+        assert correct > 140  # near-perfect after warmup
+
+    def test_separate_branches_separate_histories(self):
+        predictor = LocalPredictor(64, 4, 1024, hash_pc=True)
+        a = make_vector(pc=0x1000)
+        b = make_vector(pc=0x1004)
+        for _ in range(20):
+            predictor.access(a, True)
+            predictor.access(b, False)
+        assert predictor.predict(a) is True
+        assert predictor.predict(b) is False
+
+    def test_storage(self):
+        predictor = LocalPredictor(1024, 10, 1024)
+        assert predictor.storage_bits == 1024 * 10 + 2 * 1024
+
+
+class TestTournament:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TournamentPredictor(global_entries=1000)
+        with pytest.raises(ValueError):
+            TournamentPredictor(chooser_entries=1000)
+
+    def test_default_21264_storage(self):
+        predictor = TournamentPredictor()
+        # 1K x 10 local histories + 1K counters + 4K global + 4K chooser.
+        expected = 1024 * 10 + 2 * 1024 + 2 * 4096 + 2 * 4096
+        assert predictor.storage_bits == expected
+
+    def test_chooser_picks_working_component(self):
+        """A branch predictable only from global history must end up routed
+        to the global side."""
+        predictor = TournamentPredictor(local_history_entries=64,
+                                        local_counter_entries=64,
+                                        global_entries=256,
+                                        chooser_entries=256,
+                                        global_history_length=4)
+        import random
+        rng = random.Random(5)
+        correct_tail = 0
+        for trial in range(600):
+            history = rng.getrandbits(4)
+            outcome = bool(history & 1)  # copy of the last global outcome
+            vector = make_vector(pc=0x2000, history=history)
+            prediction = predictor.access(vector, outcome)
+            if trial >= 300 and prediction == outcome:
+                correct_tail += 1
+        assert correct_tail > 240  # > 80% in the second half
+
+    def test_local_side_survives_global_noise(self):
+        predictor = TournamentPredictor(local_history_entries=64,
+                                        local_counter_entries=1024,
+                                        global_entries=256,
+                                        chooser_entries=256,
+                                        global_history_length=8)
+        import random
+        rng = random.Random(6)
+        pattern = [True, True, False]
+        correct_tail = 0
+        for trial in range(600):
+            outcome = pattern[trial % 3]
+            vector = make_vector(pc=0x3000, history=rng.getrandbits(8))
+            prediction = predictor.access(vector, outcome)
+            if trial >= 300 and prediction == outcome:
+                correct_tail += 1
+        assert correct_tail > 240

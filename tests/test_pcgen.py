@@ -1,0 +1,125 @@
+"""Tests for the PC-address generator (jump predictor, RAS, final
+selection — Section 2)."""
+
+import pytest
+
+from repro.ev8.pcgen import (
+    JumpPredictor,
+    PCAddressGenerator,
+    PCGenStatistics,
+    ReturnAddressStack,
+)
+from repro.history.providers import BranchGhistProvider
+from repro.predictors import GsharePredictor
+from repro.traces.model import TerminatorKind, TraceBuilder
+from repro.workloads.spec95 import spec95_trace
+
+
+class TestJumpPredictor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JumpPredictor(1000)
+
+    def test_miss_then_hit(self):
+        jumps = JumpPredictor(256)
+        assert jumps.predict(0x1000) is None
+        jumps.train(0x1000, 0x2000)
+        assert jumps.predict(0x1000) == 0x2000
+
+    def test_tag_prevents_false_hits(self):
+        jumps = JumpPredictor(16)
+        jumps.train(0x1000, 0x2000)
+        # A different pc mapping to the same entry must miss, not alias.
+        collided = None
+        for pc in range(0x2000, 0x80000, 4):
+            if jumps._index(pc) == jumps._index(0x1000) and pc != 0x1000:
+                collided = pc
+                break
+        assert collided is not None
+        assert jumps.predict(collided) is None
+
+    def test_retarget(self):
+        jumps = JumpPredictor(256)
+        jumps.train(0x1000, 0x2000)
+        jumps.train(0x1000, 0x3000)
+        assert jumps.predict(0x1000) == 0x3000
+
+
+class TestReturnAddressStack:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+    def test_lifo(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+
+    def test_wraparound_overwrites_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0x100)
+        ras.push(0x200)
+        ras.push(0x300)  # overwrites 0x100
+        assert ras.pop() == 0x300
+        assert ras.pop() == 0x200
+        assert ras.pop() is None
+
+    def test_len(self):
+        ras = ReturnAddressStack(4)
+        assert len(ras) == 0
+        ras.push(1)
+        assert len(ras) == 1
+
+
+class TestGenerator:
+    def _call_return_trace(self, iterations=300):
+        """caller loop: CALL f at 0x1000; f at 0x2000 returns; a conditional
+        closes the loop."""
+        builder = TraceBuilder("callret")
+        for i in range(iterations):
+            builder.add(0x1000, 1, TerminatorKind.CALL, True, 0x2000)
+            builder.add(0x2000, 2, TerminatorKind.RETURN, True, 0x1004)
+            builder.add(0x1004, 2, TerminatorKind.CONDITIONAL,
+                        i < iterations - 1, 0x1000)
+        return builder.build()
+
+    def test_ras_predicts_returns(self):
+        trace = self._call_return_trace()
+        generator = PCAddressGenerator(GsharePredictor(1024, 4),
+                                       BranchGhistProvider())
+        stats = generator.run(trace)
+        assert stats.ras_pops > 200
+        assert stats.ras_accuracy > 0.95
+
+    def test_pcgen_beats_cold_line_predictor_on_periodic_stream(self):
+        trace = self._call_return_trace()
+        generator = PCAddressGenerator(GsharePredictor(1024, 4),
+                                       BranchGhistProvider())
+        stats = generator.run(trace)
+        # After warmup everything is predictable; both should be high and
+        # the generator near-perfect.
+        assert stats.pcgen_accuracy > 0.95
+        assert stats.blocks > 0
+
+    def test_statistics_defaults(self):
+        stats = PCGenStatistics()
+        assert stats.line_accuracy == 0.0
+        assert stats.pcgen_accuracy == 0.0
+        assert stats.ras_accuracy == 0.0
+
+    def test_on_workload(self):
+        from repro.ev8 import EV8BranchPredictor
+        from repro.history.providers import ev8_info_provider
+        trace = spec95_trace("m88ksim", 12000)
+        generator = PCAddressGenerator(EV8BranchPredictor(),
+                                       ev8_info_provider())
+        stats = generator.run(trace)
+        # Both mechanisms work; the generator corrects the line predictor
+        # somewhere (the Fig 1 redirects), and accuracy is in a plausible
+        # band.
+        assert 0.5 < stats.line_accuracy < 1.0
+        assert 0.5 < stats.pcgen_accuracy <= 1.0
+        assert stats.redirects > 0

@@ -1,0 +1,82 @@
+"""Tests for the perceptron predictor (the paper's future-work backup)."""
+
+import random
+
+import pytest
+
+from conftest import make_vector
+from repro.predictors import PerceptronPredictor
+
+
+class TestStructure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(100, 8)
+        with pytest.raises(ValueError):
+            PerceptronPredictor(128, 0)
+        with pytest.raises(ValueError):
+            PerceptronPredictor(128, 8, weight_bits=1)
+
+    def test_default_threshold_formula(self):
+        predictor = PerceptronPredictor(128, 20)
+        assert predictor.threshold == int(1.93 * 20 + 14)
+
+    def test_storage(self):
+        predictor = PerceptronPredictor(256, 15, weight_bits=8)
+        assert predictor.storage_bits == 256 * 16 * 8
+
+
+class TestLearning:
+    def test_learns_bias(self):
+        predictor = PerceptronPredictor(64, 8)
+        vector = make_vector()
+        for _ in range(30):
+            predictor.access(vector, True)
+        assert predictor.predict(vector) is True
+
+    def test_learns_single_history_bit_correlation(self):
+        predictor = PerceptronPredictor(64, 8)
+        rng = random.Random(9)
+        correct_tail = 0
+        for trial in range(400):
+            history = rng.getrandbits(8)
+            outcome = bool((history >> 3) & 1)
+            vector = make_vector(history=history)
+            if predictor.access(vector, outcome) == outcome and trial >= 200:
+                correct_tail += 1
+        assert correct_tail > 190  # near perfect
+
+    def test_learns_parity_of_two_bits_is_hard(self):
+        """XOR of history bits is linearly inseparable — the perceptron must
+        NOT learn it (a known limitation from Jimenez & Lin)."""
+        predictor = PerceptronPredictor(64, 8)
+        rng = random.Random(10)
+        correct_tail = 0
+        for trial in range(600):
+            history = rng.getrandbits(8)
+            outcome = bool(((history >> 1) ^ (history >> 2)) & 1)
+            vector = make_vector(history=history)
+            if predictor.access(vector, outcome) == outcome and trial >= 300:
+                correct_tail += 1
+        assert correct_tail < 220  # ~chance level
+
+    def test_weights_saturate(self):
+        # A huge threshold keeps training active so weights must clamp at
+        # the representable limit rather than growing without bound.
+        predictor = PerceptronPredictor(16, 4, weight_bits=4, threshold=10**6)
+        vector = make_vector(history=0b1111)
+        for _ in range(200):
+            predictor.access(vector, True)
+        row = predictor._row(vector)
+        limit = predictor.weight_limit
+        assert all(-limit - 1 <= weight <= limit for weight in row)
+        assert row[0] == limit  # bias saturated high
+
+    def test_training_stops_beyond_threshold(self):
+        predictor = PerceptronPredictor(16, 4, threshold=2)
+        vector = make_vector(history=0)
+        for _ in range(50):
+            predictor.access(vector, True)
+        bias_after_training = predictor._row(vector)[0]
+        predictor.access(vector, True)
+        assert predictor._row(vector)[0] == bias_after_training

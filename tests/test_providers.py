@@ -1,0 +1,125 @@
+"""Tests for information-vector providers (the Fig 7 axis)."""
+
+from repro.history.providers import (
+    BlockLghistProvider,
+    BranchGhistProvider,
+    ev8_info_provider,
+)
+from repro.traces.fetch import FetchBlock
+
+
+def make_block(start, branch_pcs, branch_outcomes, ended_taken=True):
+    return FetchBlock(start, 8, list(branch_pcs), list(branch_outcomes),
+                      ended_taken)
+
+
+class TestBranchGhistProvider:
+    def test_history_updates_within_block(self):
+        provider = BranchGhistProvider()
+        block = make_block(0x1000, [0x1000, 0x1004, 0x1008],
+                           [True, False, True])
+        vectors = provider.begin_block(block)
+        assert [v.history for v in vectors] == [0b0, 0b1, 0b10]
+        provider.end_block(block)
+        next_block = make_block(0x2000, [0x2000], [False])
+        vectors = provider.begin_block(next_block)
+        assert vectors[0].history == 0b101
+
+    def test_address_is_branch_pc(self):
+        provider = BranchGhistProvider()
+        block = make_block(0x1000, [0x1008], [True])
+        vector = provider.begin_block(block)[0]
+        assert vector.address == 0x1008
+        assert vector.branch_pc == 0x1008
+
+    def test_path_tracks_previous_blocks(self):
+        provider = BranchGhistProvider()
+        first = make_block(0x1000, [0x1000], [True])
+        provider.begin_block(first)
+        provider.end_block(first)
+        second = make_block(0x2000, [0x2000], [True])
+        vector = provider.begin_block(second)[0]
+        assert vector.path[0] == 0x1000
+
+    def test_reset(self):
+        provider = BranchGhistProvider()
+        block = make_block(0x1000, [0x1000], [True])
+        provider.begin_block(block)
+        provider.end_block(block)
+        provider.reset()
+        vector = provider.begin_block(block)[0]
+        assert vector.history == 0
+        assert vector.path == (0, 0, 0)
+
+
+class TestBlockLghistProvider:
+    def test_vectors_share_block_state(self):
+        provider = BlockLghistProvider(include_path=False)
+        block = make_block(0x1000, [0x1000, 0x1008], [False, True])
+        vectors = provider.begin_block(block)
+        assert vectors[0].history == vectors[1].history
+        assert vectors[0].address == vectors[1].address == 0x1000
+        assert vectors[0].branch_pc == 0x1000
+        assert vectors[1].branch_pc == 0x1008
+
+    def test_history_is_block_compressed(self):
+        provider = BlockLghistProvider(include_path=False)
+        first = make_block(0x1000, [0x1000, 0x1004], [False, True])
+        provider.begin_block(first)
+        provider.end_block(first)
+        second = make_block(0x2000, [0x2000], [True])
+        vector = provider.begin_block(second)[0]
+        # One bit for the whole first block: last outcome True.
+        assert vector.history == 0b1
+
+    def test_delayed_variant(self):
+        provider = BlockLghistProvider(include_path=False, delay_blocks=3)
+        blocks = [make_block(0x1000 * (i + 1), [0x1000 * (i + 1)], [True])
+                  for i in range(5)]
+        histories = []
+        for block in blocks:
+            vectors = provider.begin_block(block)
+            histories.append(vectors[0].history)
+            provider.end_block(block)
+        # Predicting block D excludes the three preceding blocks A, B, C
+        # entirely: block 3 still sees nothing, block 4 sees exactly the
+        # bit block 0 inserted.
+        assert histories == [0, 0, 0, 0, 1]
+
+    def test_bank_advances_every_block_even_without_branches(self):
+        provider = BlockLghistProvider()
+        banks = []
+        for i in range(6):
+            # Alternate branchy and branchless blocks at varied addresses.
+            if i % 2:
+                block = make_block(i * 0x40, [], [])
+                provider.end_block(block)  # driver skips begin_block
+            else:
+                block = make_block(i * 0x40, [i * 0x40], [True])
+                banks.append(provider.begin_block(block)[0].bank)
+                provider.end_block(block)
+        assert all(0 <= bank < 4 for bank in banks)
+
+    def test_successive_blocks_get_distinct_banks(self):
+        provider = BlockLghistProvider()
+        previous = None
+        for i in range(50):
+            block = make_block((i * 0x24) & ~3, [(i * 0x24) & ~3], [True])
+            bank = provider.begin_block(block)[0].bank
+            if previous is not None:
+                assert bank != previous
+            previous = bank
+            provider.end_block(block)
+
+    def test_begin_block_idempotent_bank(self):
+        provider = BlockLghistProvider()
+        block = make_block(0x1000, [0x1000], [True])
+        first = provider.begin_block(block)[0].bank
+        second = provider.begin_block(block)[0].bank
+        assert first == second
+
+    def test_ev8_info_provider_configuration(self):
+        provider = ev8_info_provider()
+        assert provider._lghist.delay_blocks == 3
+        assert provider._lghist.include_path is True
+        assert provider._path.depth == 3

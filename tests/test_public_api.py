@@ -1,0 +1,52 @@
+"""Public-API hygiene: exports resolve, modules are documented, versions
+are consistent."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro", "repro.common", "repro.traces", "repro.workloads",
+            "repro.history", "repro.indexing", "repro.predictors",
+            "repro.ev8", "repro.sim", "repro.experiments"]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    for name in getattr(package, "__all__", []):
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_every_module_has_a_docstring():
+    root = pathlib.Path(repro.__file__).parent
+    for info in pkgutil.walk_packages([str(root)], prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it runs the CLI
+        module = importlib.import_module(info.name)
+        assert module.__doc__ and module.__doc__.strip(), info.name
+
+
+def test_version_matches_pyproject():
+    pyproject = pathlib.Path(repro.__file__).parents[2] / "pyproject.toml"
+    assert f'version = "{repro.__version__}"' in pyproject.read_text()
+
+
+def test_predictor_classes_expose_interface():
+    from repro.predictors.base import Predictor
+    from repro import (
+        AgreePredictor, BiModePredictor, BimodalPredictor, EGskewPredictor,
+        EV8BranchPredictor, GAsPredictor, GsharePredictor, LocalPredictor,
+        PerceptronPredictor, TournamentPredictor, TwoBcGskewPredictor,
+        YagsPredictor)
+    classes = [AgreePredictor, BiModePredictor, BimodalPredictor,
+               EGskewPredictor, EV8BranchPredictor, GAsPredictor,
+               GsharePredictor, LocalPredictor, PerceptronPredictor,
+               TournamentPredictor, TwoBcGskewPredictor, YagsPredictor]
+    for cls in classes:
+        assert issubclass(cls, Predictor), cls
+        for method in ("predict", "update", "access"):
+            assert callable(getattr(cls, method)), (cls, method)

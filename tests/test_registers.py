@@ -1,0 +1,110 @@
+"""Tests for history registers."""
+
+import pytest
+
+from repro.history.registers import (
+    GlobalHistoryRegister,
+    LocalHistoryTable,
+    PathRegister,
+)
+
+
+class TestGlobalHistory:
+    def test_push_order(self):
+        register = GlobalHistoryRegister()
+        for taken in (True, False, True, True):
+            register.push(taken)
+        # bit0 = most recent.
+        assert register.value() == 0b1011
+
+    def test_capacity_truncation(self):
+        register = GlobalHistoryRegister(capacity=3)
+        for _ in range(10):
+            register.push(True)
+        register.push(False)
+        assert register.value() == 0b110
+
+    def test_partial_read(self):
+        register = GlobalHistoryRegister()
+        for taken in (True, True, False):
+            register.push(taken)
+        assert register.value(2) == 0b10
+        assert register.value(0) == 0
+
+    def test_read_beyond_capacity_rejected(self):
+        register = GlobalHistoryRegister(capacity=8)
+        with pytest.raises(ValueError):
+            register.value(9)
+
+    def test_reset(self):
+        register = GlobalHistoryRegister()
+        register.push(True)
+        register.reset()
+        assert register.value() == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            GlobalHistoryRegister(0)
+
+
+class TestPathRegister:
+    def test_entry_ordering(self):
+        path = PathRegister(depth=3)
+        path.push(0x100)
+        path.push(0x200)
+        path.push(0x300)
+        assert path.entry(0) == 0x300  # Z, the most recent
+        assert path.entry(1) == 0x200  # Y
+        assert path.entry(2) == 0x100  # X
+        assert path.as_tuple() == (0x300, 0x200, 0x100)
+
+    def test_oldest_falls_off(self):
+        path = PathRegister(depth=2)
+        for address in (1, 2, 3):
+            path.push(address)
+        assert path.as_tuple() == (3, 2)
+
+    def test_initial_state_zero(self):
+        path = PathRegister(depth=3)
+        assert path.as_tuple() == (0, 0, 0)
+
+    def test_reset(self):
+        path = PathRegister(depth=2)
+        path.push(7)
+        path.reset()
+        assert path.as_tuple() == (0, 0)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            PathRegister(0)
+
+
+class TestLocalHistoryTable:
+    def test_per_branch_isolation(self):
+        table = LocalHistoryTable(entries=16, width=4)
+        table.push(0x1000, True)
+        table.push(0x1004, False)
+        table.push(0x1000, True)
+        assert table.read(0x1000) == 0b11
+        assert table.read(0x1004) == 0b0
+
+    def test_width_truncation(self):
+        table = LocalHistoryTable(entries=4, width=2)
+        for _ in range(5):
+            table.push(0x0, True)
+        assert table.read(0x0) == 0b11
+
+    def test_aliasing_across_table_size(self):
+        table = LocalHistoryTable(entries=4, width=4)
+        # PCs 0x0 and 0x40 (instruction index 0 and 16) alias mod 4 entries.
+        table.push(0x0, True)
+        assert table.read(0x40) == 1
+
+    def test_storage(self):
+        assert LocalHistoryTable(1024, 10).storage_bits == 10240
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            LocalHistoryTable(10, 4)
+        with pytest.raises(ValueError):
+            LocalHistoryTable(16, 0)

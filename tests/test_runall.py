@@ -1,0 +1,17 @@
+"""Smoke test for the consolidated report generator."""
+
+from repro.experiments.runall import run_all
+
+
+def test_run_all_produces_complete_report(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    report = run_all(num_branches=4000)
+    # One section per paper table/figure, with its finding and its table.
+    for heading in ("Table 2", "Table 3", "Fig 5", "Fig 6", "Fig 7",
+                    "Fig 8", "Fig 9", "Fig 10"):
+        assert f"## {heading}" in report, heading
+    assert report.count("```") % 2 == 0
+    assert "misp/KI" in report
+    # The per-experiment JSON files were recorded as a side effect.
+    recorded = {path.name for path in tmp_path.glob("*.json")}
+    assert {"table2.json", "table3.json", "fig5.json", "fig10.json"} <= recorded

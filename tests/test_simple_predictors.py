@@ -1,0 +1,117 @@
+"""Tests for bimodal, gshare and GAs."""
+
+import pytest
+
+from conftest import make_vector
+from repro.predictors import BimodalPredictor, GAsPredictor, GsharePredictor
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        predictor = BimodalPredictor(64)
+        vector = make_vector(pc=0x1000)
+        for _ in range(3):
+            predictor.update(vector, True)
+        assert predictor.predict(vector) is True
+        # A different branch is unaffected.
+        assert predictor.predict(make_vector(pc=0x1004)) is False
+
+    def test_initial_prediction_not_taken(self):
+        predictor = BimodalPredictor(64)
+        assert predictor.predict(make_vector()) is False
+
+    def test_hysteresis_needs_two_to_flip(self):
+        predictor = BimodalPredictor(64)
+        vector = make_vector()
+        for _ in range(4):
+            predictor.update(vector, True)  # strong taken
+        predictor.update(vector, False)
+        assert predictor.predict(vector) is True  # still taken (weak)
+        predictor.update(vector, False)
+        assert predictor.predict(vector) is False
+
+    def test_ignores_history(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(3):
+            predictor.update(make_vector(history=0b1010), True)
+        assert predictor.predict(make_vector(history=0b0101)) is True
+
+    def test_aliasing_across_size(self):
+        predictor = BimodalPredictor(16)
+        # PC and PC + 16 instructions alias.
+        for _ in range(3):
+            predictor.update(make_vector(pc=0x1000), True)
+        assert predictor.predict(make_vector(pc=0x1000 + 16 * 4)) is True
+
+    def test_access_equals_predict_then_update(self):
+        a = BimodalPredictor(64)
+        b = BimodalPredictor(64)
+        vector = make_vector()
+        for taken in (True, True, False, True, False, False):
+            via_access = a.access(vector, taken)
+            expected = b.predict(vector)
+            b.update(vector, taken)
+            assert via_access == expected
+        assert a.predict(vector) == b.predict(vector)
+
+    def test_storage(self):
+        assert BimodalPredictor(16 * 1024).storage_bits == 32 * 1024
+        assert BimodalPredictor(16 * 1024, 8 * 1024).storage_bits == 24 * 1024
+        assert BimodalPredictor(1024).storage_kbits == pytest.approx(2.0)
+
+
+class TestGshare:
+    def test_separates_contexts_for_one_branch(self):
+        predictor = GsharePredictor(1024, 8)
+        taken_ctx = make_vector(history=0b1111_0000)
+        not_taken_ctx = make_vector(history=0b0000_1111)
+        for _ in range(3):
+            predictor.update(taken_ctx, True)
+            predictor.update(not_taken_ctx, False)
+        assert predictor.predict(taken_ctx) is True
+        assert predictor.predict(not_taken_ctx) is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(1000, 8)
+        with pytest.raises(ValueError):
+            GsharePredictor(1024, -1)
+
+    def test_zero_history_degenerates_to_bimodal(self):
+        predictor = GsharePredictor(1024, 0)
+        for _ in range(3):
+            predictor.update(make_vector(history=0b101), True)
+        assert predictor.predict(make_vector(history=0b010)) is True
+
+    def test_name_default(self):
+        assert GsharePredictor(1024 * 1024, 20).name == "gshare-1024K-h20"
+
+    def test_storage(self):
+        assert GsharePredictor(1 << 20, 20).storage_bits == 2 << 20
+
+
+class TestGAs:
+    def test_history_concatenated_not_hashed(self):
+        predictor = GAsPredictor(1 << 10, 4)
+        # Same PC, two histories differing only in high bits beyond the
+        # 4-bit window -> same entry.
+        a = make_vector(history=0b0001)
+        b = make_vector(history=0b11_0001)
+        for _ in range(3):
+            predictor.update(a, True)
+        assert predictor.predict(b) is True
+
+    def test_history_window_separates(self):
+        predictor = GAsPredictor(1 << 10, 4)
+        a = make_vector(history=0b0001)
+        b = make_vector(history=0b0010)
+        for _ in range(3):
+            predictor.update(a, True)
+        assert predictor.predict(b) is False
+
+    def test_history_length_bounded_by_index(self):
+        with pytest.raises(ValueError):
+            GAsPredictor(1 << 10, 11)
+
+    def test_storage(self):
+        assert GAsPredictor(1 << 12, 6).storage_bits == 2 << 12

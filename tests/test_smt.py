@@ -1,0 +1,94 @@
+"""Tests for SMT workload interleaving and simulation (Section 3)."""
+
+import pytest
+
+from repro.history.providers import BranchGhistProvider
+from repro.predictors import GsharePredictor, LocalPredictor
+from repro.traces.fetch import fetch_blocks_for
+from repro.workloads.smt import SMTResult, interleave_blocks, simulate_smt
+from repro.workloads.spec95 import spec95_trace
+
+
+@pytest.fixture(scope="module")
+def thread_traces():
+    return [spec95_trace("perl", 6000), spec95_trace("li", 6000)]
+
+
+class TestInterleave:
+    def test_validation(self, thread_traces):
+        with pytest.raises(ValueError):
+            interleave_blocks([])
+        with pytest.raises(ValueError):
+            interleave_blocks(thread_traces, chunk_blocks=0)
+
+    def test_all_blocks_present_once(self, thread_traces):
+        merged = interleave_blocks(thread_traces, chunk_blocks=4)
+        expected = sum(len(fetch_blocks_for(trace))
+                       for trace in thread_traces)
+        assert len(merged) == expected
+
+    def test_round_robin_chunks(self, thread_traces):
+        merged = interleave_blocks(thread_traces, chunk_blocks=3)
+        thread_ids = [thread_id for thread_id, _ in merged[:12]]
+        assert thread_ids == [0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1]
+
+    def test_per_thread_order_preserved(self, thread_traces):
+        merged = interleave_blocks(thread_traces, chunk_blocks=5)
+        for thread_id, trace in enumerate(thread_traces):
+            original = fetch_blocks_for(trace)
+            seen = [block for tid, block in merged if tid == thread_id]
+            assert seen == original
+
+    def test_uneven_lengths(self):
+        short = spec95_trace("compress", 1200)
+        long = spec95_trace("li", 6000)
+        merged = interleave_blocks([short, long], chunk_blocks=4)
+        expected = len(fetch_blocks_for(short)) + len(fetch_blocks_for(long))
+        assert len(merged) == expected
+        # The long thread's tail still arrives after the short one ends.
+        tail_threads = {tid for tid, _ in merged[-100:]}
+        assert tail_threads == {1}
+
+
+class TestSimulateSMT:
+    def test_result_bookkeeping(self, thread_traces):
+        predictor = GsharePredictor(1 << 14, 8)
+        result = simulate_smt(predictor, thread_traces,
+                              BranchGhistProvider)
+        assert isinstance(result, SMTResult)
+        assert result.total_branches == sum(
+            trace.conditional_count for trace in thread_traces)
+        assert result.total_mispredictions == sum(
+            r.mispredictions for r in result.per_thread)
+        assert 0 < result.misprediction_rate < 0.5
+
+    def test_per_thread_history_beats_shared(self, thread_traces):
+        """Section 3: one global history register per thread; a shared
+        register sees an interleaved outcome stream and loses correlation."""
+        private = simulate_smt(GsharePredictor(1 << 15, 10), thread_traces,
+                               BranchGhistProvider,
+                               per_thread_history=True)
+        shared = simulate_smt(GsharePredictor(1 << 15, 10), thread_traces,
+                              BranchGhistProvider,
+                              per_thread_history=False)
+        assert private.total_mispredictions < shared.total_mispredictions
+
+    def test_local_predictor_suffers_cross_thread_pollution(self):
+        """The paper's warning: thread interference on a local-history
+        scheme pollutes both the history and prediction tables.  Two threads
+        running the same binary at the same addresses collide everywhere."""
+        from repro.workloads.spec95 import profile_for
+        from repro.workloads.generator import generate_trace
+        base = profile_for("perl")
+        # Same program layout, different dynamic behaviour per thread.
+        threads = [generate_trace(base, 6000),
+                   generate_trace(base.with_seed(77), 6000)]
+        solo = [simulate_smt(LocalPredictor(512, 8, 4096), [trace],
+                             BranchGhistProvider).total_mispredictions
+                for trace in threads]
+        smt = simulate_smt(LocalPredictor(512, 8, 4096), threads,
+                           BranchGhistProvider)
+        together = sum(r.mispredictions for r in smt.per_thread)
+        # Sharing the local history/prediction tables across threads that
+        # collide at every PC must cost mispredictions overall.
+        assert together > sum(solo)

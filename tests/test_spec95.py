@@ -1,0 +1,87 @@
+"""Tests for the SPECINT95 stand-in profiles."""
+
+import pytest
+
+from repro.traces.stats import compute_statistics
+from repro.workloads.spec95 import (
+    SPEC95_BENCHMARKS,
+    TABLE2_STATIC_BRANCHES,
+    default_trace_branches,
+    profile_for,
+    spec95_profiles,
+    spec95_trace,
+)
+
+
+class TestProfiles:
+    def test_all_eight_benchmarks_present(self):
+        profiles = spec95_profiles()
+        assert set(profiles) == set(SPEC95_BENCHMARKS)
+        assert len(SPEC95_BENCHMARKS) == 8
+
+    def test_static_budgets_match_table2(self):
+        for name in SPEC95_BENCHMARKS:
+            assert profile_for(name).static_branches == \
+                TABLE2_STATIC_BRANCHES[name]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            profile_for("mcf")  # a SPEC2000 benchmark, not SPECINT95
+
+    def test_profiles_are_distinct(self):
+        bases = {profile_for(name).code_base for name in SPEC95_BENCHMARKS}
+        assert len(bases) == 8  # distinct address spaces
+
+
+class TestTraces:
+    def test_trace_is_cached_in_memory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        import repro.workloads.spec95 as spec95
+        monkeypatch.setattr(spec95, "_shared_cache", None)
+        first = spec95.spec95_trace("compress", 2000)
+        second = spec95.spec95_trace("compress", 2000)
+        assert first is second
+
+    def test_requested_length_honoured(self):
+        trace = spec95_trace("li", 3000)
+        assert trace.conditional_count == 3000
+
+    def test_default_length_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_BRANCHES", "123456")
+        assert default_trace_branches() == 123456
+
+    def test_default_length_env_rejects_tiny(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_BRANCHES", "10")
+        with pytest.raises(ValueError):
+            default_trace_branches()
+
+
+class TestCharacteristics:
+    """The stand-ins must land in the calibrated ranges that the experiment
+    shapes rely on."""
+
+    def test_compress_has_tiny_footprint(self, compress_trace):
+        stats = compute_statistics(compress_trace)
+        assert stats.static_conditional <= TABLE2_STATIC_BRANCHES["compress"]
+        assert stats.static_conditional >= 20
+
+    def test_gcc_has_large_footprint(self, gcc_trace):
+        stats = compute_statistics(gcc_trace)
+        assert stats.static_conditional > 150
+
+    def test_footprint_ordering_matches_table2(self, gcc_trace,
+                                               compress_trace):
+        # gcc exercises far more static branches than compress at any
+        # trace length.
+        assert (compute_statistics(gcc_trace).static_conditional
+                > 3 * compute_statistics(compress_trace).static_conditional)
+
+    def test_lghist_ratio_above_one(self, gcc_trace, vortex_trace):
+        for trace in (gcc_trace, vortex_trace):
+            assert compute_statistics(trace).lghist_to_ghist_ratio > 1.0
+
+    def test_taken_rates_plausible(self, gcc_trace, vortex_trace,
+                                   compress_trace):
+        for trace in (gcc_trace, vortex_trace, compress_trace):
+            rate = compute_statistics(trace).taken_rate
+            assert 0.2 < rate < 0.8

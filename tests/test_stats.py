@@ -1,0 +1,73 @@
+"""Tests for trace statistics (Tables 2 and 3 machinery)."""
+
+import pytest
+
+from repro.traces.model import TerminatorKind, TraceBuilder
+from repro.traces.stats import compute_statistics
+
+
+def chain_trace():
+    """Two not-taken branches in one fetch block, then a taken branch in its
+    own block: 3 branches over 2 lghist bits."""
+    builder = TraceBuilder("chain")
+    builder.add(0x1000, 2, TerminatorKind.CONDITIONAL, False, 0x1008)
+    builder.add(0x1008, 2, TerminatorKind.CONDITIONAL, False, 0x1010)
+    builder.add(0x1010, 4, TerminatorKind.JUMP, True, 0x2000)
+    builder.add(0x2000, 2, TerminatorKind.CONDITIONAL, True, 0x1000)
+    return builder.build()
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = compute_statistics(chain_trace())
+        assert stats.dynamic_conditional == 3
+        assert stats.static_conditional == 3
+        assert stats.instruction_count == 10
+        assert stats.fetch_block_count == 2
+        assert stats.lghist_bits == 2
+
+    def test_ratio(self):
+        stats = compute_statistics(chain_trace())
+        assert stats.lghist_to_ghist_ratio == pytest.approx(1.5)
+
+    def test_density(self):
+        stats = compute_statistics(chain_trace())
+        assert stats.branches_per_kilo_instruction == pytest.approx(300.0)
+        assert stats.instructions_per_branch == pytest.approx(10 / 3)
+
+    def test_taken_rate(self):
+        stats = compute_statistics(chain_trace())
+        assert stats.taken_rate == pytest.approx(1 / 3)
+
+    def test_thousands(self):
+        stats = compute_statistics(chain_trace())
+        assert stats.dynamic_conditional_thousands == pytest.approx(0.003)
+
+    def test_scaling(self):
+        stats = compute_statistics(chain_trace())
+        scaled = stats.scaled_to_instructions(100_000_000)
+        assert scaled.instruction_count == 100_000_000
+        assert scaled.dynamic_conditional == 30_000_000
+        assert scaled.static_conditional == stats.static_conditional
+        # Ratios are scale-invariant.
+        assert scaled.lghist_to_ghist_ratio == pytest.approx(
+            stats.lghist_to_ghist_ratio)
+
+    def test_no_branches(self):
+        builder = TraceBuilder("jumps")
+        builder.add(0x0, 4, TerminatorKind.JUMP, True, 0x0)
+        stats = compute_statistics(builder.build())
+        assert stats.lghist_to_ghist_ratio == 0.0
+        assert stats.branches_per_kilo_instruction == 0.0
+        assert stats.instructions_per_branch == 4.0
+
+
+class TestOnWorkloads:
+    def test_real_profile_statistics_sane(self, gcc_trace):
+        stats = compute_statistics(gcc_trace)
+        assert stats.dynamic_conditional == gcc_trace.conditional_count
+        # lghist always compresses at least 1:1.
+        assert stats.lghist_to_ghist_ratio >= 1.0
+        # Densities within plausible integer-code range.
+        assert 50 < stats.branches_per_kilo_instruction < 350
+        assert 0.2 < stats.taken_rate < 0.8

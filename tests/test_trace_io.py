@@ -1,0 +1,106 @@
+"""Tests for trace serialisation and caching."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import TraceCache, load_trace, save_trace
+from repro.traces.model import TerminatorKind, TraceBuilder
+
+
+def demo_trace(name="io-demo"):
+    builder = TraceBuilder(name)
+    builder.add(0x1000, 3, TerminatorKind.CONDITIONAL, True, 0x2000)
+    builder.add(0x2000, 1, TerminatorKind.JUMP, True, 0x1000)
+    builder.add(0x1000, 3, TerminatorKind.CONDITIONAL, False, 0x100C)
+    return builder.build()
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        trace = demo_trace()
+        path = tmp_path / "demo.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        np.testing.assert_array_equal(loaded.starts, trace.starts)
+        np.testing.assert_array_equal(loaded.takens, trace.takens)
+        np.testing.assert_array_equal(loaded.kinds, trace.kinds)
+        assert loaded.branches() == trace.branches()
+
+    def test_save_creates_directories(self, tmp_path):
+        save_trace(demo_trace(), tmp_path / "a" / "b" / "demo.npz")
+        assert (tmp_path / "a" / "b" / "demo.npz").exists()
+
+    def test_bad_version_rejected(self, tmp_path):
+        trace = demo_trace()
+        path = tmp_path / "demo.npz"
+        np.savez_compressed(path, format_version=np.array([999]),
+                            name=np.array(["x"]), starts=trace.starts,
+                            num_instructions=trace.num_instructions,
+                            kinds=trace.kinds, takens=trace.takens,
+                            next_starts=trace.next_starts)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestCache:
+    def test_generates_once(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return demo_trace()
+
+        first = cache.get_or_generate("demo", {"n": 3}, generate)
+        second = cache.get_or_generate("demo", {"n": 3}, generate)
+        assert len(calls) == 1
+        assert first is second  # in-memory layer
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return demo_trace()
+
+        TraceCache(tmp_path).get_or_generate("demo", {"n": 3}, generate)
+        reloaded = TraceCache(tmp_path).get_or_generate("demo", {"n": 3},
+                                                        generate)
+        assert len(calls) == 1
+        assert reloaded.conditional_count == 2
+
+    def test_different_parameters_different_entries(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return demo_trace()
+
+        cache.get_or_generate("demo", {"n": 3}, generate)
+        cache.get_or_generate("demo", {"n": 4}, generate)
+        assert len(calls) == 2
+
+    def test_corrupt_entry_regenerated(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.get_or_generate("demo", {"n": 3}, demo_trace)
+        cache.clear_memory()
+        for file in tmp_path.glob("*.npz"):
+            file.write_bytes(b"garbage")
+        regenerated = cache.get_or_generate("demo", {"n": 3}, demo_trace)
+        assert regenerated.conditional_count == 2
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return demo_trace()
+
+        cache.get_or_generate("demo", {"n": 3}, generate)
+        cache.clear_memory()
+        cache.get_or_generate("demo", {"n": 3}, generate)
+        assert len(calls) == 1  # reloaded from disk, not regenerated

@@ -1,0 +1,97 @@
+"""Tests for the trace model."""
+
+import numpy as np
+import pytest
+
+from repro.traces.model import (
+    INSTRUCTION_BYTES,
+    BlockExecution,
+    TerminatorKind,
+    Trace,
+    TraceBuilder,
+)
+
+
+def build_demo() -> Trace:
+    builder = TraceBuilder("demo")
+    builder.add(0x1000, 3, TerminatorKind.CONDITIONAL, False, 0x100C)
+    builder.add(0x100C, 2, TerminatorKind.JUMP, True, 0x2000)
+    builder.add(0x2000, 5, TerminatorKind.CONDITIONAL, True, 0x1000)
+    builder.add(0x1000, 3, TerminatorKind.CONDITIONAL, True, 0x3000)
+    return builder.build()
+
+
+class TestBuilder:
+    def test_lengths_and_counts(self):
+        trace = build_demo()
+        assert len(trace) == 4
+        assert trace.instruction_count == 13
+        assert trace.conditional_count == 3
+
+    def test_rejects_zero_instructions(self):
+        builder = TraceBuilder("bad")
+        with pytest.raises(ValueError):
+            builder.add(0x1000, 0, TerminatorKind.JUMP, True, 0)
+
+    def test_rejects_misaligned_start(self):
+        builder = TraceBuilder("bad")
+        with pytest.raises(ValueError):
+            builder.add(0x1001, 1, TerminatorKind.JUMP, True, 0)
+
+    def test_builder_len(self):
+        builder = TraceBuilder("demo")
+        assert len(builder) == 0
+        builder.add(0, 1, TerminatorKind.JUMP, True, 0)
+        assert len(builder) == 1
+
+
+class TestTraceViews:
+    def test_branches_view(self):
+        trace = build_demo()
+        pcs, outcomes = trace.branches()
+        assert pcs == [0x1008, 0x2010, 0x1008]
+        assert outcomes == [False, True, True]
+
+    def test_branches_view_is_cached(self):
+        trace = build_demo()
+        assert trace.branches() is trace.branches()
+
+    def test_static_pcs(self):
+        trace = build_demo()
+        assert trace.static_conditional_pcs() == {0x1008, 0x2010}
+
+    def test_taken_rate(self):
+        trace = build_demo()
+        assert trace.taken_rate() == pytest.approx(2 / 3)
+
+    def test_taken_rate_empty(self):
+        builder = TraceBuilder("jumps")
+        builder.add(0, 1, TerminatorKind.JUMP, True, 0)
+        assert builder.build().taken_rate() == 0.0
+
+    def test_blocks_iteration(self):
+        trace = build_demo()
+        blocks = list(trace.blocks())
+        assert len(blocks) == 4
+        first = blocks[0]
+        assert isinstance(first, BlockExecution)
+        assert first.terminator_pc == 0x1000 + 2 * INSTRUCTION_BYTES
+        assert first.end == 0x1000 + 3 * INSTRUCTION_BYTES
+        assert first.kind is TerminatorKind.CONDITIONAL
+
+    def test_slice(self):
+        trace = build_demo()
+        head = trace.slice(2, name="head")
+        assert len(head) == 2
+        assert head.name == "head"
+        assert head.conditional_count == 1
+        # Slicing beyond the end clamps.
+        assert len(trace.slice(100)) == 4
+
+
+class TestValidation:
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("bad", np.zeros(2, dtype=np.uint64),
+                  np.ones(3, dtype=np.uint16), np.zeros(2, dtype=np.uint8),
+                  np.zeros(2, dtype=np.bool_), np.zeros(2, dtype=np.uint64))

@@ -1,0 +1,195 @@
+"""Tests for the 2Bc-gskew predictor, in particular the EV8 partial update
+policy (Section 4.2 of the paper, Rationales 1 and 2)."""
+
+import pytest
+
+from conftest import make_vector
+from repro.predictors import TableConfig, TwoBcGskewPredictor
+
+
+def small_predictor(update_policy="partial", **table_overrides):
+    tables = dict(bim=TableConfig(256, 0), g0=TableConfig(256, 6),
+                  g1=TableConfig(256, 10), meta=TableConfig(256, 8))
+    tables.update(table_overrides)
+    return TwoBcGskewPredictor(update_policy=update_policy, **tables)
+
+
+def force_state(predictor, vector, bim, g0, g1, meta):
+    """Set the four counters feeding ``vector`` to given 2-bit values."""
+    bim_i, g0_i, g1_i, meta_i = predictor.indices(vector)
+    predictor.bim.set_counter(bim_i, bim)
+    predictor.g0.set_counter(g0_i, g0)
+    predictor.g1.set_counter(g1_i, g1)
+    predictor.meta.set_counter(meta_i, meta)
+
+
+def read_state(predictor, vector):
+    bim_i, g0_i, g1_i, meta_i = predictor.indices(vector)
+    return (predictor.bim.counter_value(bim_i),
+            predictor.g0.counter_value(g0_i),
+            predictor.g1.counter_value(g1_i),
+            predictor.meta.counter_value(meta_i))
+
+
+class TestStructure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_predictor(update_policy="sometimes")
+        with pytest.raises(ValueError):
+            TableConfig(100, 0)
+        with pytest.raises(ValueError):
+            TableConfig(128, -1)
+
+    def test_storage_accounting(self):
+        predictor = TwoBcGskewPredictor(
+            bim=TableConfig(16 * 1024, 4),
+            g0=TableConfig(64 * 1024, 13, 32 * 1024),
+            g1=TableConfig(64 * 1024, 21),
+            meta=TableConfig(64 * 1024, 15, 32 * 1024))
+        assert predictor.storage_bits == 352 * 1024  # the EV8 budget
+
+    def test_table_sizes_report(self):
+        predictor = small_predictor()
+        sizes = predictor.table_sizes()
+        assert sizes["BIM"] == (256, 256)
+        assert set(sizes) == {"BIM", "G0", "G1", "Meta"}
+
+
+class TestPredictionSelection:
+    def test_meta_not_taken_selects_bim(self):
+        predictor = small_predictor()
+        vector = make_vector()
+        # BIM says taken, G0/G1 say not-taken, meta weak not-taken (BIM).
+        force_state(predictor, vector, bim=3, g0=0, g1=0, meta=1)
+        assert predictor.predict(vector) is True  # BIM wins
+
+    def test_meta_taken_selects_majority(self):
+        predictor = small_predictor()
+        vector = make_vector()
+        force_state(predictor, vector, bim=3, g0=0, g1=0, meta=2)
+        assert predictor.predict(vector) is False  # majority (G0,G1) wins
+
+    def test_majority_arithmetic(self):
+        predictor = small_predictor()
+        vector = make_vector()
+        force_state(predictor, vector, bim=0, g0=3, g1=3, meta=3)
+        assert predictor.predict(vector) is True
+        force_state(predictor, vector, bim=0, g0=0, g1=3, meta=3)
+        assert predictor.predict(vector) is False
+
+
+class TestPartialUpdateCorrectPrediction:
+    def test_all_agree_no_update(self):
+        """Rationale 1: when BIM, G0 and G1 all agree and the prediction is
+        correct, nothing is written — the counters stay stealable."""
+        predictor = small_predictor()
+        vector = make_vector()
+        force_state(predictor, vector, bim=2, g0=2, g1=2, meta=1)
+        before = read_state(predictor, vector)
+        assert predictor.access(vector, True) is True
+        assert read_state(predictor, vector) == before
+
+    def test_correct_bim_choice_strengthens_bim_and_meta(self):
+        predictor = small_predictor()
+        vector = make_vector()
+        # BIM taken (correct), majority not-taken, meta chose BIM.
+        force_state(predictor, vector, bim=2, g0=1, g1=1, meta=1)
+        assert predictor.access(vector, True) is True
+        bim, g0, g1, meta = read_state(predictor, vector)
+        assert bim == 3        # strengthened
+        assert (g0, g1) == (1, 1)  # untouched
+        assert meta == 0       # strengthened towards BIM (not-taken side)
+
+    def test_correct_majority_strengthens_agreeing_banks(self):
+        predictor = small_predictor()
+        vector = make_vector()
+        # Majority not-taken via G0/G1; BIM wrong; meta chose majority.
+        force_state(predictor, vector, bim=2, g0=1, g1=1, meta=2)
+        assert predictor.access(vector, False) is False
+        bim, g0, g1, meta = read_state(predictor, vector)
+        assert g0 == 0 and g1 == 0    # strengthened not-taken
+        assert bim == 2               # wrong bank untouched
+        assert meta == 3              # chooser reinforced towards majority
+
+    def test_meta_not_strengthened_when_components_agree(self):
+        predictor = small_predictor()
+        vector = make_vector()
+        # BIM and majority both taken (but G0 disagrees): prediction correct,
+        # the two *predictions* are equal, so Meta must not move.
+        force_state(predictor, vector, bim=2, g0=1, g1=2, meta=1)
+        assert predictor.access(vector, True) is True
+        _, g0, _, meta = read_state(predictor, vector)
+        assert meta == 1  # untouched
+        assert g0 == 1    # wrong bank untouched (BIM used)
+
+
+class TestPartialUpdateMisprediction:
+    def test_chooser_updated_first_and_saves_the_day(self):
+        """Rationale 2: when flipping the chooser alone fixes the
+        misprediction, the banks are only strengthened, not rewritten."""
+        predictor = small_predictor()
+        vector = make_vector()
+        # meta weakly chose BIM (wrong); the majority was right.
+        force_state(predictor, vector, bim=2, g0=1, g1=1, meta=1)
+        assert predictor.access(vector, False) is True  # mispredicts
+        bim, g0, g1, meta = read_state(predictor, vector)
+        assert meta == 2              # chooser flipped to majority
+        assert (g0, g1) == (0, 0)     # correct banks strengthened
+        assert bim == 2               # BIM direction NOT rewritten
+
+    def test_strong_chooser_resists_then_banks_update(self):
+        predictor = small_predictor()
+        vector = make_vector()
+        # meta strongly on BIM: one update cannot flip it; after the chooser
+        # update the prediction is still wrong, so all banks train.
+        force_state(predictor, vector, bim=2, g0=1, g1=1, meta=0)
+        assert predictor.access(vector, False) is True
+        bim, g0, g1, meta = read_state(predictor, vector)
+        assert meta == 1              # weakened but still BIM
+        assert bim == 1               # all banks updated towards not-taken
+        assert (g0, g1) == (0, 0)
+
+    def test_both_wrong_updates_all_banks(self):
+        predictor = small_predictor()
+        vector = make_vector()
+        # BIM and majority agree on taken; outcome not-taken.
+        force_state(predictor, vector, bim=3, g0=3, g1=3, meta=1)
+        assert predictor.access(vector, False) is True
+        bim, g0, g1, meta = read_state(predictor, vector)
+        assert (bim, g0, g1) == (2, 2, 2)  # all weakened
+        assert meta == 1                    # chooser untouched (they agreed)
+
+
+class TestTotalUpdate:
+    def test_total_updates_every_bank(self):
+        predictor = small_predictor(update_policy="total")
+        vector = make_vector()
+        force_state(predictor, vector, bim=2, g0=2, g1=2, meta=1)
+        predictor.access(vector, True)  # correct, all agree
+        bim, g0, g1, _ = read_state(predictor, vector)
+        assert (bim, g0, g1) == (3, 3, 3)  # total policy strengthens anyway
+
+    def test_partial_beats_total_under_aliasing(self):
+        """The paper's motivation for partial update: fewer writes mean
+        less destructive aliasing, so stable branches keep their entries.
+        The effect is strongest on predictable workloads under capacity
+        pressure (m88ksim here); the full regime comparison lives in
+        benchmarks/bench_ablation_update.py."""
+        from repro.sim.driver import simulate
+        from repro.workloads.spec95 import spec95_trace
+        trace = spec95_trace("perl", 20000)
+        small = dict(bim=TableConfig(512, 0), g0=TableConfig(512, 6),
+                     g1=TableConfig(512, 9), meta=TableConfig(512, 7))
+        partial = simulate(TwoBcGskewPredictor(
+            update_policy="partial", **small), trace)
+        total = simulate(TwoBcGskewPredictor(
+            update_policy="total", **small), trace)
+        assert partial.mispredictions < total.mispredictions
+
+
+class TestHysteresisSharing:
+    def test_shared_hysteresis_configuration(self):
+        predictor = small_predictor(
+            g0=TableConfig(256, 6, hysteresis_entries=128))
+        assert predictor.g0.hysteresis_size == 128
+        assert predictor.storage_bits == 256 * 8 - 128
