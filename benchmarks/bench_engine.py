@@ -1,0 +1,65 @@
+"""Engine throughput: batched versus scalar on the Fig 5 gshare sweep.
+
+The sweep workload the engine layer exists for: one 1M-entry gshare
+predictor re-simulated across history lengths on the same trace.  Asserted:
+
+* the batched engine is bit-identical to the scalar reference at every
+  sweep point (the engine contract), and
+* the batched sweep is at least 3x faster in aggregate wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit, run_once
+from repro.predictors import GsharePredictor
+from repro.sim.sweep import sweep
+from repro.traces.fetch import fetch_blocks_for
+from repro.workloads.spec95 import spec95_trace
+
+GSHARE_ENTRIES = 1 << 20  # the paper's 2 Mbit gshare configuration
+HISTORY_LENGTHS = (12, 16, 20, 24, 28, 32)
+
+
+def _make_gshare(history_length: int) -> GsharePredictor:
+    return GsharePredictor(GSHARE_ENTRIES, history_length)
+
+
+def test_engine_speedup(benchmark):
+    trace = spec95_trace("gcc")
+    traces = {"gcc": trace}
+    fetch_blocks_for(trace)  # warm the shared block cache for both engines
+
+    def run():
+        started = time.perf_counter()
+        scalar = sweep(_make_gshare, HISTORY_LENGTHS, traces, engine="scalar")
+        scalar_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        batched = sweep(_make_gshare, HISTORY_LENGTHS, traces,
+                        engine="batched")
+        batched_seconds = time.perf_counter() - started
+        return scalar, scalar_seconds, batched, batched_seconds
+
+    scalar, scalar_seconds, batched, batched_seconds = run_once(benchmark, run)
+    speedup = scalar_seconds / batched_seconds
+
+    lines = [f"Engine speedup: 1M-entry gshare sweep on gcc "
+             f"({len(trace):,} trace records)",
+             f"{'history':>8}{'scalar misp/KI':>16}{'batched misp/KI':>17}",
+             "-" * 41]
+    for scalar_point, batched_point in zip(scalar, batched):
+        lines.append(f"{scalar_point.value:>8}"
+                     f"{scalar_point.mean_misp_per_ki:>16.3f}"
+                     f"{batched_point.mean_misp_per_ki:>17.3f}")
+    lines.append("-" * 41)
+    lines.append(f"scalar {scalar_seconds:.2f} s, batched "
+                 f"{batched_seconds:.2f} s -> {speedup:.1f}x")
+    emit("\n".join(lines), "bench_engine")
+
+    for scalar_point, batched_point in zip(scalar, batched):
+        assert batched_point.per_benchmark == scalar_point.per_benchmark, (
+            f"engines disagree at history length {scalar_point.value}")
+    assert speedup >= 3.0, (
+        f"batched sweep only {speedup:.2f}x faster "
+        f"({scalar_seconds:.2f}s vs {batched_seconds:.2f}s)")

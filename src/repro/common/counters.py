@@ -27,11 +27,32 @@ i.e. the prediction bit is the counter's direction and the hysteresis bit is
 its strength.  ``update`` implements the usual saturating-counter step in
 this encoding; ``strengthen`` and ``weaken`` expose the half-steps the
 partial update policy needs.
+
+:meth:`SplitCounterArray.batch_access` is the vectorized heart of the
+batched simulation engine (:mod:`repro.sim.engine`): it replays a whole
+predict-then-train index/outcome stream through the array in numpy,
+bit-identically to calling ``predict`` + ``update`` per branch.  The trick:
+with private hysteresis, counters at different indices never interact, so a
+stable sort by index groups each counter's accesses into a contiguous,
+temporally ordered run; within runs, the counter step is a state machine
+over 4 states, and state-machine transition *composition* is associative —
+so the per-run sequential dependence resolves with a segmented Hillis-Steele
+prefix scan (log2(n) fully-vectorized composition passes) instead of a
+per-branch Python loop.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = ["SplitCounterArray"]
+
+# Saturating-counter transition tables over the packed state
+# s = 2*direction + strength (0 = weak NT, 1 = strong NT, 2 = weak T,
+# 3 = strong T): _STEP_NOT_TAKEN[s] / _STEP_TAKEN[s] is the state after
+# training on a not-taken / taken outcome — exactly ``_step_towards``.
+_STEP_NOT_TAKEN = np.array([1, 1, 0, 2], dtype=np.uint8)
+_STEP_TAKEN = np.array([2, 0, 3, 3], dtype=np.uint8)
 
 
 class SplitCounterArray:
@@ -153,6 +174,106 @@ class SplitCounterArray:
         else:
             self._prediction[index] = 1 if taken else 0
             # Stay weak after a direction flip (00 <-> 10 transition).
+
+    # -- batched access ------------------------------------------------------
+
+    @property
+    def batch_supported(self) -> bool:
+        """Whether :meth:`batch_access` is available.
+
+        Shared hysteresis couples prediction entries through their common
+        hysteresis bit, so the per-index independence the sort-and-scan
+        relies on does not hold; those configurations must replay scalar.
+        """
+        return self.hysteresis_size == self.size
+
+    def batch_access(self, indices: np.ndarray, takens: np.ndarray,
+                     chunk: int = 1 << 20) -> np.ndarray:
+        """Vectorized predict-then-train over a whole access stream.
+
+        Equivalent to ``[self.predict(i) for i in indices]`` interleaved with
+        ``self.update(i, t)`` per element, in stream order: returns the
+        per-access predictions (bool array) and leaves every counter in the
+        same final state the scalar replay would.  Processed in chunks of
+        ``chunk`` accesses to bound the scan's working memory; the table
+        state carries between chunks, so chunking does not change results.
+        """
+        if not self.batch_supported:
+            raise ValueError(
+                "batch_access requires private hysteresis (shared-hysteresis"
+                " arrays couple entries and must be replayed scalar)")
+        indices = np.asarray(indices).astype(np.int64, copy=False)
+        takens = np.asarray(takens, dtype=np.bool_)
+        if indices.shape != takens.shape:
+            raise ValueError(
+                f"index/outcome streams have mismatched shapes: "
+                f"{indices.shape} vs {takens.shape}")
+        indices = indices & (self.size - 1)
+        predictions = np.empty(len(indices), dtype=np.bool_)
+        for lo in range(0, len(indices), max(chunk, 1)):
+            hi = lo + max(chunk, 1)
+            predictions[lo:hi] = self._batch_access_chunk(indices[lo:hi],
+                                                          takens[lo:hi])
+        return predictions
+
+    def _batch_access_chunk(self, indices: np.ndarray,
+                            takens: np.ndarray) -> np.ndarray:
+        n = len(indices)
+        if n == 0:
+            return np.empty(0, dtype=np.bool_)
+        order = np.argsort(indices, kind="stable")
+        sorted_index = indices[order]
+        sorted_taken = takens[order]
+
+        # Per-access transition functions as rows of 4 next-states, then an
+        # inclusive segmented prefix scan composing them (segment = run of
+        # equal indices; the sort makes segment membership a plain equality
+        # test at any doubling distance).
+        prefix = np.where(sorted_taken[:, None], _STEP_TAKEN[None, :],
+                          _STEP_NOT_TAKEN[None, :])
+        shift = 1
+        while shift < n:
+            rows = np.nonzero(sorted_index[shift:] == sorted_index[:-shift])[0]
+            if rows.size == 0:
+                # Runs are contiguous, so no pair at this distance in the
+                # same segment means the longest run is <= shift: done.
+                break
+            prefix[shift + rows] = np.take_along_axis(prefix[shift + rows],
+                                                      prefix[rows], axis=1)
+            shift <<= 1
+
+        prediction_view = np.frombuffer(self._prediction, dtype=np.uint8)
+        hysteresis_view = np.frombuffer(self._hysteresis, dtype=np.uint8)
+        initial = (2 * prediction_view[sorted_index]
+                   + hysteresis_view[sorted_index]).astype(np.uint8)
+
+        first = np.empty(n, dtype=np.bool_)
+        first[0] = True
+        first[1:] = sorted_index[1:] != sorted_index[:-1]
+        state_before = np.empty(n, dtype=np.uint8)
+        state_before[first] = initial[first]
+        if n > 1:
+            carried = np.take_along_axis(prefix[:-1], initial[1:, None],
+                                         axis=1)[:, 0]
+            interior = ~first[1:]
+            state_before[1:][interior] = carried[interior]
+
+        # Final state per touched counter: the inclusive prefix of each
+        # segment's last access, applied to that counter's initial state.
+        last = np.empty(n, dtype=np.bool_)
+        last[-1] = True
+        last[:-1] = first[1:]
+        state_after = np.take_along_axis(prefix[last],
+                                         initial[last][:, None], axis=1)[:, 0]
+        touched = sorted_index[last]
+        np.frombuffer(self._prediction, dtype=np.uint8)[touched] = \
+            state_after >> 1
+        np.frombuffer(self._hysteresis, dtype=np.uint8)[touched] = \
+            state_after & 1
+
+        predictions = np.empty(n, dtype=np.bool_)
+        predictions[order] = state_before >= 2
+        return predictions
 
     def set_counter(self, index: int, value: int) -> None:
         """Force a counter to a conventional 2-bit value (0..3). Test hook."""

@@ -17,12 +17,18 @@ predictor held fixed) reproduces the Fig 7 axis.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
 from repro.history.lghist import LghistRegister
 from repro.history.registers import GlobalHistoryRegister, PathRegister
-from repro.traces.fetch import FetchBlock
+from repro.traces.fetch import FETCH_BLOCK_BYTES, FetchBlock, fetch_blocks_for
+from repro.traces.model import INSTRUCTION_BYTES, TerminatorKind, Trace
 
-__all__ = ["InfoVector", "HistoryProvider", "BranchGhistProvider",
-           "BlockLghistProvider", "ev8_info_provider"]
+__all__ = ["InfoVector", "VectorBatch", "HistoryProvider",
+           "BranchGhistProvider", "BlockLghistProvider", "ev8_info_provider"]
 
 
 class InfoVector:
@@ -64,6 +70,36 @@ class InfoVector:
                 f"path={tuple(hex(p) for p in self.path)})")
 
 
+@dataclass(frozen=True)
+class VectorBatch:
+    """A whole trace's information vectors as parallel numpy arrays.
+
+    The columnar counterpart of a stream of :class:`InfoVector` objects, in
+    branch-prediction order: row ``i`` holds exactly the fields the scalar
+    driver would have passed to ``predictor.access`` for the ``i``-th
+    conditional branch, plus that branch's architectural outcome.  Produced
+    trace-side by :meth:`HistoryProvider.materialize` — global history is a
+    pure function of earlier trace outcomes, so its apparent sequential
+    dependence is resolved here, once, instead of inside the predictor loop.
+
+    ``path`` is shaped ``(path_depth, n)`` with row 0 the youngest previous
+    fetch-block address (the paper's Z, then Y, X ...).
+    """
+
+    history: np.ndarray
+    address: np.ndarray
+    branch_pc: np.ndarray
+    path: np.ndarray
+    takens: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.branch_pc)
+
+    @property
+    def path_depth(self) -> int:
+        return self.path.shape[0]
+
+
 class HistoryProvider:
     """Base class: produces per-branch info vectors over a fetch-block
     stream.
@@ -81,6 +117,103 @@ class HistoryProvider:
 
     def reset(self) -> None:
         raise NotImplementedError
+
+    def materialize(self, trace: Trace) -> VectorBatch | None:
+        """Bulk-produce the whole trace's vectors as a :class:`VectorBatch`.
+
+        Returns ``None`` when this provider cannot materialize (the batched
+        engine then falls back to the scalar path).  Materialization starts
+        from reset register state, matching a fresh provider instance.
+        """
+        return None
+
+
+def _branch_block_geometry_slow(trace: Trace):
+    """Per-branch (pcs, outcomes, fetch-block ordinal) plus all fetch-block
+    start addresses, extracted by walking the fetch-block objects."""
+    branch_pcs: list[int] = []
+    outcomes: list[bool] = []
+    block_ordinal: list[int] = []
+    blocks = fetch_blocks_for(trace)
+    for ordinal, block in enumerate(blocks):
+        branch_pcs.extend(block.branch_pcs)
+        outcomes.extend(block.branch_outcomes)
+        block_ordinal.extend([ordinal] * len(block.branch_pcs))
+    return (np.array(branch_pcs, dtype=np.uint64),
+            np.array(outcomes, dtype=np.bool_),
+            np.array(block_ordinal, dtype=np.int64),
+            np.array([block.start for block in blocks], dtype=np.uint64))
+
+
+def _branch_block_geometry(trace: Trace):
+    """Vectorized :func:`_branch_block_geometry_slow`.
+
+    Relies on the invariant fetch-block construction itself documents: the
+    basic-block stream is contiguous in the address space except across
+    taken control transfers.  Then the address stream decomposes into
+    contiguous *segments* delimited by taken terminators (and end of trace),
+    and every fetch block within a segment is an aligned
+    ``FETCH_BLOCK_BYTES`` chunk — so block counts, block start addresses and
+    each branch's block ordinal are pure chunk arithmetic.  Returns ``None``
+    if the invariant does not hold for this trace (the caller then walks the
+    fetch blocks instead).
+    """
+    if len(trace) == 0:
+        return (np.empty(0, np.uint64), np.empty(0, np.bool_),
+                np.empty(0, np.int64), np.empty(0, np.uint64))
+    starts = trace.starts
+    ends = starts + trace.num_instructions.astype(np.uint64) \
+        * np.uint64(INSTRUCTION_BYTES)
+    conditional = trace.kinds == int(TerminatorKind.CONDITIONAL)
+    fallthrough = trace.kinds == int(TerminatorKind.FALLTHROUGH)
+    terminator_taken = np.where(conditional, trace.takens, ~fallthrough)
+    if bool(np.any(~terminator_taken[:-1] & (starts[1:] != ends[:-1]))):
+        return None  # discontiguous not-taken boundary: invariant broken
+
+    # Segment = maximal run of records ending at a taken terminator (or the
+    # end of the trace).
+    seg_last = terminator_taken.copy()
+    seg_last[-1] = True
+    seg_first = np.empty_like(seg_last)
+    seg_first[0] = True
+    seg_first[1:] = seg_last[:-1]
+    segment_of_record = np.cumsum(seg_first) - 1
+    seg_start = starts[seg_first]
+    seg_end = ends[seg_last]
+
+    # Chunk arithmetic: fetch blocks of a segment are its aligned chunks.
+    chunk_shift = np.uint64(FETCH_BLOCK_BYTES.bit_length() - 1)
+    first_chunk = seg_start >> chunk_shift
+    last_chunk = (seg_end - np.uint64(1)) >> chunk_shift
+    blocks_per_segment = (last_chunk - first_chunk + np.uint64(1)).astype(np.int64)
+    block_base = np.zeros(len(blocks_per_segment), dtype=np.int64)
+    np.cumsum(blocks_per_segment[:-1], out=block_base[1:])
+
+    total_blocks = int(block_base[-1] + blocks_per_segment[-1])
+    segment_of_block = np.repeat(np.arange(len(block_base)), blocks_per_segment)
+    chunk_in_segment = np.arange(total_blocks) - block_base[segment_of_block]
+    block_starts = (first_chunk[segment_of_block]
+                    + chunk_in_segment.astype(np.uint64)) << chunk_shift
+    np.copyto(block_starts, seg_start[segment_of_block],
+              where=chunk_in_segment == 0)
+
+    # One branch per conditional record: the terminator instruction.
+    pcs = ends[conditional] - np.uint64(INSTRUCTION_BYTES)
+    takens = trace.takens[conditional].copy()
+    branch_segment = segment_of_record[conditional]
+    ordinals = (block_base[branch_segment]
+                + (pcs >> chunk_shift).astype(np.int64)
+                - first_chunk[branch_segment].astype(np.int64))
+    return pcs, takens, ordinals, block_starts
+
+
+_GHIST_BATCH_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+"""Materialized ghist batches per trace, keyed by (capacity, path_depth).
+
+Materialization is a pure function of the trace and those two parameters,
+so sweeps (many predictors, one trace) pay the block walk once; the cached
+columns are marked read-only because every consumer shares them.
+"""
 
 
 class BranchGhistProvider(HistoryProvider):
@@ -110,6 +243,48 @@ class BranchGhistProvider(HistoryProvider):
     def reset(self) -> None:
         self._history.reset()
         self._path.reset()
+
+    def materialize(self, trace: Trace) -> VectorBatch | None:
+        """Whole-trace ghist vectors, bit-identical to the scalar walk.
+
+        Per-branch global history is the packed window of the previous
+        outcomes (bit 0 youngest), built with one vectorized OR-shift pass
+        per capacity bit; the path columns are previous fetch-block start
+        addresses gathered from the block stream.
+        """
+        capacity = self._history.capacity
+        if capacity > 64:
+            return None  # histories no longer fit a uint64 column
+        key = (capacity, self._path.depth)
+        cached = _GHIST_BATCH_CACHE.setdefault(trace, {}).get(key)
+        if cached is not None:
+            return cached
+        geometry = _branch_block_geometry(trace)
+        if geometry is None:
+            # Discontiguous not-taken record boundary: fall back to the
+            # fetch-block walk, which defines the semantics in that case.
+            pcs, takens, ordinals, starts = _branch_block_geometry_slow(trace)
+        else:
+            pcs, takens, ordinals, starts = geometry
+        n = len(pcs)
+
+        history = np.zeros(n, dtype=np.uint64)
+        outcome_bits = takens.astype(np.uint64)
+        for age in range(1, min(capacity, n) + 1):
+            history[age:] |= outcome_bits[:-age] << np.uint64(age - 1)
+
+        path = np.zeros((self._path.depth, n), dtype=np.uint64)
+        for age in range(self._path.depth):
+            source = ordinals - 1 - age
+            valid = source >= 0
+            path[age, valid] = starts[source[valid]]
+
+        batch = VectorBatch(history=history, address=pcs, branch_pc=pcs,
+                            path=path, takens=takens)
+        for column in (history, pcs, path, takens):
+            column.setflags(write=False)  # cached batches are shared
+        _GHIST_BATCH_CACHE[trace][key] = batch
+        return batch
 
 
 class BlockLghistProvider(HistoryProvider):

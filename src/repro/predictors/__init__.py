@@ -1,7 +1,7 @@
 """Branch predictor library: the paper's comparison set plus extensions."""
 
 from repro.predictors.agree import AgreePredictor
-from repro.predictors.base import Predictor
+from repro.predictors.base import BatchCapable, Predictor
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.cascade import CascadePredictor, CascadeStatistics
 from repro.predictors.bimode import BiModePredictor
@@ -21,6 +21,7 @@ from repro.predictors.yags import YagsPredictor
 
 __all__ = [
     "AgreePredictor",
+    "BatchCapable",
     "Predictor",
     "BimodalPredictor",
     "CascadePredictor",

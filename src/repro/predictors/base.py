@@ -10,9 +10,11 @@ once for both the prediction and the update.
 
 from __future__ import annotations
 
-from repro.history.providers import InfoVector
+import numpy as np
 
-__all__ = ["Predictor"]
+from repro.history.providers import InfoVector, VectorBatch
+
+__all__ = ["Predictor", "BatchCapable"]
 
 
 class Predictor:
@@ -56,3 +58,33 @@ class Predictor:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BatchCapable:
+    """Mixin for predictors that can replay a whole trace in bulk.
+
+    Opting in means implementing :meth:`batch_access`: given a
+    :class:`~repro.history.providers.VectorBatch` (the trace's information
+    vectors and outcomes as parallel arrays), return the per-branch
+    predictions the scalar ``access`` loop would have produced, **bit for
+    bit**, and leave the predictor tables in the same final state.  The
+    batched engine (:class:`repro.sim.engine.BatchedEngine`) verifies
+    :meth:`batch_supported` first and falls back to the scalar engine when a
+    configuration cannot honor the equivalence guarantee (e.g. shared
+    hysteresis, a non-vectorizable index scheme).
+
+    Implementations typically precompute their table-index streams with the
+    vectorized helpers in :mod:`repro.indexing.fold` /
+    :mod:`repro.indexing.skew`, then either resolve counter updates with
+    :meth:`repro.common.counters.SplitCounterArray.batch_access` (single
+    independent table) or replay the precomputed indices through a tight
+    scalar loop (multiple update-coupled tables).
+    """
+
+    def batch_supported(self) -> bool:
+        """Whether this instance's configuration can run batched."""
+        return True
+
+    def batch_access(self, batch: VectorBatch) -> np.ndarray:
+        """Predict-then-train over the whole batch; returns predictions."""
+        raise NotImplementedError

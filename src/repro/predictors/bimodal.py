@@ -8,14 +8,16 @@ baseline and the BIM component of 2Bc-gskew (Section 4.1), where it
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.common.counters import SplitCounterArray
-from repro.history.providers import InfoVector
-from repro.predictors.base import Predictor
+from repro.history.providers import InfoVector, VectorBatch
+from repro.predictors.base import BatchCapable, Predictor
 
 __all__ = ["BimodalPredictor"]
 
 
-class BimodalPredictor(Predictor):
+class BimodalPredictor(BatchCapable, Predictor):
     """PC-indexed 2-bit counter table.
 
     Parameters
@@ -47,6 +49,15 @@ class BimodalPredictor(Predictor):
         prediction = self._counters.predict(index)
         self._counters.update(index, taken)
         return prediction
+
+    def batch_supported(self) -> bool:
+        # Shared hysteresis couples table entries; only the private-hysteresis
+        # configuration decomposes per index.
+        return self._counters.batch_supported
+
+    def batch_access(self, batch: VectorBatch) -> np.ndarray:
+        indices = (batch.branch_pc >> np.uint64(2)) & np.uint64(self._mask)
+        return self._counters.batch_access(indices, batch.takens)
 
     @property
     def storage_bits(self) -> int:

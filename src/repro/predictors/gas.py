@@ -8,15 +8,18 @@ scheme the paper cites as a conventional aliased predictor [27]).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.common.bitops import mask, xor_fold
 from repro.common.counters import SplitCounterArray
-from repro.history.providers import InfoVector
-from repro.predictors.base import Predictor
+from repro.history.providers import InfoVector, VectorBatch
+from repro.indexing.fold import xor_fold_vec
+from repro.predictors.base import BatchCapable, Predictor
 
 __all__ = ["GAsPredictor"]
 
 
-class GAsPredictor(Predictor):
+class GAsPredictor(BatchCapable, Predictor):
     """Two-level GAs: index = history bits concatenated with PC bits."""
 
     def __init__(self, entries: int, history_length: int,
@@ -56,6 +59,21 @@ class GAsPredictor(Predictor):
         prediction = self._counters.predict(index)
         self._counters.update(index, taken)
         return prediction
+
+    def batch_supported(self) -> bool:
+        return self._counters.batch_supported
+
+    def batch_access(self, batch: VectorBatch) -> np.ndarray:
+        pc_words = batch.branch_pc >> np.uint64(2)
+        if self.address_bits >= 20:
+            address_part = pc_words & np.uint64(mask(self.address_bits))
+        elif self.address_bits:
+            address_part = xor_fold_vec(pc_words, self.address_bits)
+        else:
+            address_part = np.zeros_like(pc_words)
+        history_part = batch.history & np.uint64(mask(self.history_length))
+        indices = (history_part << np.uint64(self.address_bits)) | address_part
+        return self._counters.batch_access(indices, batch.takens)
 
     @property
     def storage_bits(self) -> int:

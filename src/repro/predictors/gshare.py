@@ -8,16 +8,18 @@ baseline that the de-aliased schemes are measured against.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.common.bitops import mask
 from repro.common.counters import SplitCounterArray
-from repro.history.providers import InfoVector
-from repro.indexing.fold import gshare_index
-from repro.predictors.base import Predictor
+from repro.history.providers import InfoVector, VectorBatch
+from repro.indexing.fold import gshare_index, gshare_index_vec
+from repro.predictors.base import BatchCapable, Predictor
 
 __all__ = ["GsharePredictor"]
 
 
-class GsharePredictor(Predictor):
+class GsharePredictor(BatchCapable, Predictor):
     """Global-history XOR address indexed counter table."""
 
     def __init__(self, entries: int, history_length: int,
@@ -49,6 +51,14 @@ class GsharePredictor(Predictor):
         prediction = self._counters.predict(index)
         self._counters.update(index, taken)
         return prediction
+
+    def batch_supported(self) -> bool:
+        return self._counters.batch_supported
+
+    def batch_access(self, batch: VectorBatch) -> np.ndarray:
+        indices = gshare_index_vec(batch.branch_pc, batch.history,
+                                   self.history_length, self.index_bits)
+        return self._counters.batch_access(indices, batch.takens)
 
     @property
     def storage_bits(self) -> int:

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.common.bitops import mask
 from repro.common.counters import SplitCounterArray
-from repro.history.providers import InfoVector
-from repro.indexing.fold import info_word
-from repro.indexing.skew import skew_index
-from repro.predictors.base import Predictor
+from repro.history.providers import InfoVector, VectorBatch
+from repro.indexing.fold import info_word, info_word_vec
+from repro.indexing.skew import skew_index, skew_index_vec
+from repro.predictors.base import BatchCapable, Predictor
 
 __all__ = ["TableConfig", "IndexScheme", "SkewedIndexScheme",
            "TwoBcGskewPredictor"]
@@ -72,9 +74,22 @@ class IndexScheme:
     hardware-constrained EV8 functions.
     """
 
+    #: Whether :meth:`compute_batch` is implemented (the batched engine
+    #: falls back to scalar for schemes that stay False, e.g. the
+    #: hardware-constrained EV8 functions).
+    vectorized = False
+
     def compute(self, vector: InfoVector,
                 configs: tuple[TableConfig, TableConfig, TableConfig,
                                TableConfig]) -> tuple[int, int, int, int]:
+        raise NotImplementedError
+
+    def compute_batch(self, batch: VectorBatch,
+                      configs: tuple[TableConfig, TableConfig, TableConfig,
+                                     TableConfig]
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]:
+        """Vectorized :meth:`compute` over a whole batch (bit-identical)."""
         raise NotImplementedError
 
 
@@ -101,6 +116,8 @@ class SkewedIndexScheme(IndexScheme):
             offset += _PATH_BITS_PER_BLOCK
         return word, offset
 
+    vectorized = True
+
     def compute(self, vector, configs):
         bim, g0, g1, meta = configs
         path_word, path_bits = self._path_word(vector)
@@ -120,8 +137,38 @@ class SkewedIndexScheme(IndexScheme):
             indices.append(skew_index(rank, word, config.index_bits))
         return tuple(indices)
 
+    def _path_word_batch(self, batch: VectorBatch) -> tuple[np.ndarray | None,
+                                                            int]:
+        if not self.use_path_addresses or batch.path_depth == 0:
+            return None, 0
+        word = np.zeros(len(batch), dtype=np.uint64)
+        offset = 0
+        for age in range(batch.path_depth):
+            field = ((batch.path[age] >> np.uint64(2))
+                     & np.uint64(mask(_PATH_BITS_PER_BLOCK)))
+            word |= field << np.uint64(offset)
+            offset += _PATH_BITS_PER_BLOCK
+        return word, offset
 
-class TwoBcGskewPredictor(Predictor):
+    def compute_batch(self, batch, configs):
+        bim, g0, g1, meta = configs
+        path_word, path_bits = self._path_word_batch(batch)
+        if bim.history_length:
+            bim_index = info_word_vec(batch.branch_pc, batch.history,
+                                      bim.history_length, bim.index_bits)
+        else:
+            bim_index = ((batch.branch_pc >> np.uint64(2))
+                         & np.uint64(mask(bim.index_bits)))
+        indices = [bim_index]
+        for rank, config in ((1, g0), (2, g1), (3, meta)):
+            word = info_word_vec(batch.address, batch.history,
+                                 config.history_length,
+                                 2 * config.index_bits, path_word, path_bits)
+            indices.append(skew_index_vec(rank, word, config.index_bits))
+        return tuple(indices)
+
+
+class TwoBcGskewPredictor(BatchCapable, Predictor):
     """The 2Bc-gskew hybrid skewed predictor.
 
     Parameters
@@ -185,6 +232,30 @@ class TwoBcGskewPredictor(Predictor):
         state = self._read(indices)
         self._train(indices, state, taken)
         return state[-1]
+
+    def batch_supported(self) -> bool:
+        return self.index_scheme.vectorized
+
+    def batch_access(self, batch: VectorBatch) -> np.ndarray:
+        """Batched replay: all four index streams are precomputed with the
+        vectorized index scheme; the counter traffic replays scalar because
+        the partial-update policy couples BIM/G0/G1/Meta through the
+        majority vote and the chooser — a true sequential dependence."""
+        bim_stream, g0_stream, g1_stream, meta_stream = (
+            array.tolist()
+            for array in self.index_scheme.compute_batch(batch, self.configs))
+        taken_stream = batch.takens.tolist()
+        predictions = np.empty(len(batch), dtype=np.bool_)
+        read = self._read
+        train = self._train
+        for position, (bim_i, g0_i, g1_i, meta_i, taken) in enumerate(
+                zip(bim_stream, g0_stream, g1_stream, meta_stream,
+                    taken_stream)):
+            indices = (bim_i, g0_i, g1_i, meta_i)
+            state = read(indices)
+            train(indices, state, taken)
+            predictions[position] = state[-1]
+        return predictions
 
     # -- training ------------------------------------------------------------
 

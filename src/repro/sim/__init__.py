@@ -1,19 +1,40 @@
-"""Trace-driven simulation: driver, metrics, comparisons, sweeps."""
+"""Trace-driven simulation: engines, driver, metrics, comparisons, sweeps."""
 
 from repro.sim.compare import ComparisonTable, run_comparison
 from repro.sim.driver import simulate
+from repro.sim.engine import (
+    ENGINES,
+    BatchedEngine,
+    ScalarEngine,
+    SimulationEngine,
+    default_engine_name,
+    get_engine,
+    register_engine,
+)
 from repro.sim.interference import InterferenceReport, measure_interference
 from repro.sim.metrics import (
     SimulationResult,
     aggregate_misp_per_ki,
     misp_per_ki,
 )
-from repro.sim.sweep import SweepPoint, best_history_length, sweep
+from repro.sim.sweep import (
+    SweepPoint,
+    best_history_length,
+    sweep,
+    sweep_parallel,
+)
 
 __all__ = [
     "ComparisonTable",
     "run_comparison",
     "simulate",
+    "ENGINES",
+    "BatchedEngine",
+    "ScalarEngine",
+    "SimulationEngine",
+    "default_engine_name",
+    "get_engine",
+    "register_engine",
     "InterferenceReport",
     "measure_interference",
     "SimulationResult",
@@ -22,4 +43,5 @@ __all__ = [
     "SweepPoint",
     "best_history_length",
     "sweep",
+    "sweep_parallel",
 ]

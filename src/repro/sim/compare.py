@@ -17,6 +17,7 @@ from typing import Callable
 from repro.history.providers import HistoryProvider
 from repro.predictors.base import Predictor
 from repro.sim.driver import simulate
+from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import SimulationResult
 from repro.traces.model import Trace
 
@@ -80,6 +81,13 @@ class ComparisonTable:
         lines.append("".join(mean_row))
         return "\n".join(lines)
 
+    def wall_seconds(self, config: str | None = None) -> float:
+        """Total simulation wall-clock, for one configuration or the grid."""
+        configs = [config] if config is not None else self.config_names
+        return sum(self.cells[name][benchmark].wall_seconds
+                   for name in configs
+                   for benchmark in self.benchmark_names)
+
     def to_dict(self) -> dict:
         """JSON-friendly dump (used by the bench harness to record runs)."""
         return {
@@ -90,6 +98,18 @@ class ComparisonTable:
                          for benchmark in self.benchmark_names}
                 for config in self.config_names
             },
+            "wall_seconds": {
+                config: {
+                    benchmark: self.cells[config][benchmark].wall_seconds
+                    for benchmark in self.benchmark_names
+                }
+                for config in self.config_names
+            },
+            "engine": {
+                config: {benchmark: self.cells[config][benchmark].engine
+                         for benchmark in self.benchmark_names}
+                for config in self.config_names
+            },
         }
 
 
@@ -97,13 +117,15 @@ def run_comparison(configs: dict[str, PredictorFactory],
                    traces: dict[str, Trace],
                    provider_factory: ProviderFactory | None = None,
                    provider_factories: dict[str, ProviderFactory] | None = None,
+                   engine: str | SimulationEngine | None = None,
                    ) -> ComparisonTable:
     """Simulate every configuration on every trace.
 
     ``provider_factory`` applies to all configurations; alternatively
     ``provider_factories`` maps configuration name to its own provider
     factory (Fig 7 varies the information vector per configuration while
-    the predictor stays fixed).
+    the predictor stays fixed).  ``engine`` selects the simulation engine
+    for every cell (name, instance, or None for the environment default).
     """
     table = ComparisonTable(config_names=list(configs),
                             benchmark_names=list(traces))
@@ -116,6 +138,7 @@ def run_comparison(configs: dict[str, PredictorFactory],
                 provider = provider_factory()
             else:
                 provider = None
-            result = simulate(predictor_factory(), trace, provider)
+            result = simulate(predictor_factory(), trace, provider,
+                              engine=engine)
             table.cells[config_name][benchmark_name] = result
     return table

@@ -6,7 +6,11 @@ architectural outcome as soon as it is predicted.  The paper validates that
 for the long-global-history predictors studied, immediate update versus
 commit-time update changes the misprediction counts insignificantly.
 
-The driver walks the trace's fetch-block stream; a
+The walk itself lives in the pluggable engine layer
+(:mod:`repro.sim.engine`): the default :class:`~repro.sim.engine.ScalarEngine`
+iterates the trace's fetch-block stream one branch at a time, while the
+:class:`~repro.sim.engine.BatchedEngine` replays opted-in table predictors
+in vectorized numpy passes with bit-identical counts.  A
 :class:`~repro.history.providers.HistoryProvider` decides what information
 vector each branch is predicted with (per-branch ghist, block lghist, aged
 lghist, ...), which is how one simulation loop serves both conventional
@@ -15,10 +19,10 @@ per-branch predictors and the block-granular EV8 predictor.
 
 from __future__ import annotations
 
-from repro.history.providers import BranchGhistProvider, HistoryProvider
+from repro.history.providers import HistoryProvider
 from repro.predictors.base import Predictor
+from repro.sim.engine import SimulationEngine, get_engine
 from repro.sim.metrics import SimulationResult
-from repro.traces.fetch import fetch_blocks_for
 from repro.traces.model import Trace
 
 __all__ = ["simulate"]
@@ -26,7 +30,8 @@ __all__ = ["simulate"]
 
 def simulate(predictor: Predictor, trace: Trace,
              provider: HistoryProvider | None = None,
-             warmup_branches: int = 0) -> SimulationResult:
+             warmup_branches: int = 0,
+             engine: str | SimulationEngine | None = None) -> SimulationResult:
     """Run one predictor over one trace.
 
     Parameters
@@ -42,28 +47,10 @@ def simulate(predictor: Predictor, trace: Trace,
         Optional number of initial branches excluded from the misprediction
         count (the tables still train).  The paper uses no warmup (all
         entries initialised weakly not-taken); kept for sensitivity studies.
+    engine:
+        Simulation engine: an instance, a registered name (``"scalar"``,
+        ``"batched"``), or ``None`` for the ``REPRO_SIM_ENGINE`` environment
+        default (scalar).  Engines are count-equivalent; they differ only in
+        throughput.
     """
-    if provider is None:
-        provider = BranchGhistProvider()
-    mispredictions = 0
-    branches = 0
-    counted_instructions = 0
-    begin_block = provider.begin_block
-    end_block = provider.end_block
-    access = predictor.access
-    for block in fetch_blocks_for(trace):
-        if block.branch_pcs:
-            vectors = begin_block(block)
-            for vector, taken in zip(vectors, block.branch_outcomes):
-                prediction = access(vector, taken)
-                branches += 1
-                if branches > warmup_branches and prediction != taken:
-                    mispredictions += 1
-        end_block(block)
-    return SimulationResult(
-        predictor_name=predictor.name,
-        trace_name=trace.name,
-        branches=branches - min(warmup_branches, branches),
-        mispredictions=mispredictions,
-        instructions=trace.instruction_count,
-    )
+    return get_engine(engine).run(predictor, trace, provider, warmup_branches)

@@ -22,18 +22,32 @@ def misp_per_ki(mispredictions: int, instructions: int) -> float:
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Outcome of one (predictor, trace) simulation."""
+    """Outcome of one (predictor, trace) simulation.
+
+    ``wall_seconds`` and ``engine`` are throughput bookkeeping stamped by
+    the simulation engine that produced the result; they do not participate
+    in the paper's accuracy metrics.
+    """
 
     predictor_name: str
     trace_name: str
     branches: int
     mispredictions: int
     instructions: int
+    wall_seconds: float = 0.0
+    engine: str = "scalar"
 
     @property
     def misp_per_ki(self) -> float:
         """The paper's metric."""
         return misp_per_ki(self.mispredictions, self.instructions)
+
+    @property
+    def branches_per_second(self) -> float:
+        """Simulation throughput (dynamic branches per wall-clock second)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.branches / self.wall_seconds
 
     @property
     def misprediction_rate(self) -> float:

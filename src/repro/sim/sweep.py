@@ -4,19 +4,27 @@ The paper repeatedly reports "best history length" results (Fig 5) and the
 penalty of clamping history to log2(table size) (Fig 6).  These helpers run
 a predictor factory across a range of a parameter and locate the best
 configuration by mean misp/KI across benchmarks.
+
+Sweeps are the workload the engine layer exists for: every point is an
+independent (predictor, trace) simulation, so points vectorize through the
+batched engine (``engine="batched"``) and fan out across processes
+(:func:`sweep_parallel`).
 """
 
 from __future__ import annotations
 
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.history.providers import HistoryProvider
 from repro.predictors.base import Predictor
 from repro.sim.driver import simulate
+from repro.sim.engine import SimulationEngine
 from repro.traces.model import Trace
 
-__all__ = ["SweepPoint", "sweep", "best_history_length"]
+__all__ = ["SweepPoint", "sweep", "sweep_parallel", "best_history_length"]
 
 
 @dataclass(frozen=True)
@@ -28,33 +36,78 @@ class SweepPoint:
     per_benchmark: dict[str, float]
 
 
+def _evaluate_point(make_predictor: Callable[[int], Predictor],
+                    value: int,
+                    traces: dict[str, Trace],
+                    make_provider: Callable[[], HistoryProvider] | None,
+                    engine: str | SimulationEngine | None) -> SweepPoint:
+    """Evaluate one sweep point (module-level so process pools can run it)."""
+    per_benchmark = {}
+    for name, trace in traces.items():
+        provider = make_provider() if make_provider is not None else None
+        result = simulate(make_predictor(value), trace, provider,
+                          engine=engine)
+        per_benchmark[name] = result.misp_per_ki
+    mean = sum(per_benchmark.values()) / len(per_benchmark)
+    return SweepPoint(value=value, mean_misp_per_ki=mean,
+                      per_benchmark=per_benchmark)
+
+
 def sweep(make_predictor: Callable[[int], Predictor],
           values: Iterable[int],
           traces: dict[str, Trace],
           make_provider: Callable[[], HistoryProvider] | None = None,
+          engine: str | SimulationEngine | None = None,
           ) -> list[SweepPoint]:
     """Evaluate ``make_predictor(value)`` for every value, on every trace."""
-    points = []
-    for value in values:
-        per_benchmark = {}
-        for name, trace in traces.items():
-            provider = make_provider() if make_provider is not None else None
-            result = simulate(make_predictor(value), trace, provider)
-            per_benchmark[name] = result.misp_per_ki
-        mean = sum(per_benchmark.values()) / len(per_benchmark)
-        points.append(SweepPoint(value=value, mean_misp_per_ki=mean,
-                                 per_benchmark=per_benchmark))
-    return points
+    return [_evaluate_point(make_predictor, value, traces, make_provider,
+                            engine)
+            for value in values]
+
+
+def sweep_parallel(make_predictor: Callable[[int], Predictor],
+                   values: Iterable[int],
+                   traces: dict[str, Trace],
+                   make_provider: Callable[[], HistoryProvider] | None = None,
+                   engine: str | None = None,
+                   max_workers: int | None = None,
+                   ) -> list[SweepPoint]:
+    """:func:`sweep` with points fanned out over a process pool.
+
+    Sweep points are embarrassingly parallel (each simulates fresh predictor
+    state), so they distribute across ``max_workers`` processes; results come
+    back in ``values`` order.  The factories and traces must be picklable
+    (module-level functions / ``functools.partial`` — not lambdas); when the
+    pool cannot be used (unpicklable work, restricted platform), the sweep
+    transparently degrades to the serial path with a warning, so callers
+    never lose results.  ``engine`` must be a registered engine *name* here,
+    as engine instances do not cross process boundaries.
+    """
+    values = list(values)
+    if max_workers is not None and max_workers <= 1:
+        return sweep(make_predictor, values, traces, make_provider, engine)
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(_evaluate_point, make_predictor, value,
+                                   traces, make_provider, engine)
+                       for value in values]
+            return [future.result() for future in futures]
+    except Exception as error:  # unpicklable factory, broken pool, ...
+        warnings.warn(
+            f"sweep_parallel falling back to serial sweep: {error!r}",
+            RuntimeWarning, stacklevel=2)
+        return sweep(make_predictor, values, traces, make_provider, engine)
 
 
 def best_history_length(make_predictor: Callable[[int], Predictor],
                         lengths: Iterable[int],
                         traces: dict[str, Trace],
                         make_provider: Callable[[], HistoryProvider] | None = None,
+                        engine: str | SimulationEngine | None = None,
                         ) -> SweepPoint:
     """The history length minimising mean misp/KI across the benchmark set
     (the paper's per-configuration "best history length")."""
-    points = sweep(make_predictor, lengths, traces, make_provider)
+    points = sweep(make_predictor, lengths, traces, make_provider, engine)
     if not points:
         raise ValueError("no history lengths supplied")
     return min(points, key=lambda point: point.mean_misp_per_ki)

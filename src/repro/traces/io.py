@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Callable
 
@@ -109,8 +110,15 @@ class TraceCache:
         if path.exists():
             try:
                 trace = load_trace(path)
-            except (ValueError, OSError, KeyError):
-                trace = None  # Corrupt/stale cache entry: regenerate.
+            except (ValueError, OSError, KeyError, zipfile.BadZipFile):
+                # Corrupt/stale cache entry: drop it and regenerate.  A
+                # truncated or garbage archive surfaces as BadZipFile from
+                # np.load's zipfile layer, not as one of numpy's own errors.
+                trace = None
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         if trace is None:
             trace = generate()
             try:

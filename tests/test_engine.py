@@ -1,0 +1,228 @@
+"""Engine layer: scalar/batched equivalence, fallbacks, and the registry.
+
+The batched engine's contract is bit-identical ``mispredictions`` and
+``branches`` versus the scalar reference (plus equivalent final table
+state) for every opted-in predictor; these tests pin that contract on both
+synthetic and stand-in SPEC traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import simple_loop_trace
+from repro.history.providers import BlockLghistProvider, BranchGhistProvider
+from repro.predictors import (
+    BatchCapable,
+    BimodalPredictor,
+    EGskewPredictor,
+    GAsPredictor,
+    GsharePredictor,
+    LocalPredictor,
+    TableConfig,
+    TwoBcGskewPredictor,
+)
+from repro.sim.engine import (
+    ENGINE_ENV_VAR,
+    ENGINES,
+    BatchedEngine,
+    ScalarEngine,
+    SimulationEngine,
+    default_engine_name,
+    get_engine,
+    register_engine,
+)
+from repro.sim.driver import simulate
+from repro.sim.sweep import sweep, sweep_parallel
+
+PREDICTOR_FACTORIES = {
+    "bimodal": lambda: BimodalPredictor(1 << 12),
+    "gshare": lambda: GsharePredictor(1 << 12, 12),
+    "gshare-long-history": lambda: GsharePredictor(1 << 10, 30),
+    "gas": lambda: GAsPredictor(1 << 12, 6),
+    "egskew": lambda: EGskewPredictor(1 << 11, 10),
+    "2bc-gskew": lambda: TwoBcGskewPredictor(
+        TableConfig(1 << 10, 0), TableConfig(1 << 10, 9),
+        TableConfig(1 << 10, 15), TableConfig(1 << 10, 11)),
+}
+
+
+def _both_engines(factory, trace, warmup: int = 0):
+    scalar = ScalarEngine().run(factory(), trace, warmup_branches=warmup)
+    batched = BatchedEngine(strict=True).run(factory(), trace,
+                                             warmup_branches=warmup)
+    return scalar, batched
+
+
+@pytest.mark.parametrize("config", sorted(PREDICTOR_FACTORIES))
+def test_engines_bit_identical_on_gcc(config, gcc_trace):
+    scalar, batched = _both_engines(PREDICTOR_FACTORIES[config], gcc_trace)
+    assert batched.branches == scalar.branches
+    assert batched.mispredictions == scalar.mispredictions
+    assert batched.engine == "batched" and scalar.engine == "scalar"
+
+
+@pytest.mark.parametrize("config", sorted(PREDICTOR_FACTORIES))
+def test_engines_bit_identical_on_compress(config, compress_trace):
+    scalar, batched = _both_engines(PREDICTOR_FACTORIES[config],
+                                    compress_trace)
+    assert (batched.mispredictions, batched.branches) == \
+        (scalar.mispredictions, scalar.branches)
+
+
+@pytest.mark.parametrize("pattern", [None, (True, False), (True,) * 5 + (False,),
+                                     (True, True, False, True, False, False)])
+def test_engines_bit_identical_on_loop_patterns(pattern):
+    trace = simple_loop_trace(400, taken_pattern=pattern)
+    for config, factory in PREDICTOR_FACTORIES.items():
+        scalar, batched = _both_engines(factory, trace)
+        assert (batched.mispredictions, batched.branches) == \
+            (scalar.mispredictions, scalar.branches), config
+
+
+def test_engines_bit_identical_with_warmup(gcc_trace):
+    for warmup in (1, 100, 5000):
+        scalar, batched = _both_engines(PREDICTOR_FACTORIES["gshare"],
+                                        gcc_trace, warmup=warmup)
+        assert (batched.mispredictions, batched.branches) == \
+            (scalar.mispredictions, scalar.branches), warmup
+
+
+def test_engines_equivalent_final_table_state(gcc_trace):
+    """Batched simulation leaves the counter arrays in the same state the
+    scalar walk does — the equivalence is stronger than count-equality."""
+    scalar_pred = GsharePredictor(1 << 12, 12)
+    batched_pred = GsharePredictor(1 << 12, 12)
+    ScalarEngine().run(scalar_pred, gcc_trace)
+    BatchedEngine(strict=True).run(batched_pred, gcc_trace)
+    assert scalar_pred._counters._prediction == batched_pred._counters._prediction
+    assert scalar_pred._counters._hysteresis == batched_pred._counters._hysteresis
+
+
+def test_batched_falls_back_for_non_batch_capable(gcc_trace):
+    predictor = LocalPredictor(1 << 10, 10, 1 << 10)
+    assert not isinstance(predictor, BatchCapable)
+    result = BatchedEngine().run(predictor, gcc_trace)
+    assert result.engine == "scalar"
+    reference = ScalarEngine().run(LocalPredictor(1 << 10, 10, 1 << 10),
+                                   gcc_trace)
+    assert result.mispredictions == reference.mispredictions
+
+
+def test_batched_falls_back_for_shared_hysteresis(gcc_trace):
+    predictor = BimodalPredictor(1 << 12, hysteresis_entries=1 << 10)
+    assert not predictor.batch_supported()
+    result = BatchedEngine().run(predictor, gcc_trace)
+    assert result.engine == "scalar"
+
+
+def test_batched_falls_back_for_unmaterializable_provider(gcc_trace):
+    result = BatchedEngine().run(GsharePredictor(1 << 12, 12), gcc_trace,
+                                 provider=BlockLghistProvider())
+    assert result.engine == "scalar"
+    reference = ScalarEngine().run(GsharePredictor(1 << 12, 12), gcc_trace,
+                                   provider=BlockLghistProvider())
+    assert result.mispredictions == reference.mispredictions
+
+
+def test_batched_strict_raises_instead_of_falling_back(gcc_trace):
+    with pytest.raises(ValueError, match="BatchCapable"):
+        BatchedEngine(strict=True).run(LocalPredictor(1 << 10, 10, 1 << 10),
+                                       gcc_trace)
+    with pytest.raises(ValueError, match="materialize"):
+        BatchedEngine(strict=True).run(GsharePredictor(1 << 12, 12),
+                                       gcc_trace,
+                                       provider=BlockLghistProvider())
+
+
+def test_materialized_batch_matches_scalar_provider_walk(gcc_trace):
+    """The trace-side vector columns agree with the scalar provider walk."""
+    from repro.traces.fetch import fetch_blocks_for
+
+    provider = BranchGhistProvider()
+    batch = BranchGhistProvider().materialize(gcc_trace)
+    assert batch is not None
+    i = 0
+    for block in fetch_blocks_for(gcc_trace):
+        for vector in provider.begin_block(block):
+            assert int(batch.history[i]) == vector.history
+            assert int(batch.branch_pc[i]) == vector.branch_pc
+            assert int(batch.address[i]) == vector.address
+            assert tuple(int(batch.path[d, i])
+                         for d in range(batch.path_depth)) == vector.path
+            i += 1
+        provider.end_block(block)
+    assert i == len(batch)
+
+
+def test_wall_clock_recorded(gcc_trace):
+    result = simulate(GsharePredictor(1 << 12, 12), gcc_trace)
+    assert result.wall_seconds > 0
+    assert result.branches_per_second > 0
+
+
+def test_get_engine_resolution(monkeypatch):
+    assert isinstance(get_engine("scalar"), ScalarEngine)
+    assert isinstance(get_engine("batched"), BatchedEngine)
+    instance = BatchedEngine(strict=True)
+    assert get_engine(instance) is instance
+    with pytest.raises(ValueError, match="unknown simulation engine"):
+        get_engine("warp-drive")
+
+    monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+    assert default_engine_name() == "scalar"
+    monkeypatch.setenv(ENGINE_ENV_VAR, "batched")
+    assert default_engine_name() == "batched"
+    assert isinstance(get_engine(None), BatchedEngine)
+
+
+def test_register_engine(monkeypatch):
+    class CountingEngine(ScalarEngine):
+        name = "counting"
+
+    register_engine("counting", CountingEngine)
+    try:
+        assert isinstance(get_engine("counting"), CountingEngine)
+    finally:
+        ENGINES.pop("counting", None)
+
+
+def test_simulate_engine_argument_equivalence(gcc_trace):
+    scalar = simulate(GsharePredictor(1 << 12, 12), gcc_trace,
+                      engine="scalar")
+    batched = simulate(GsharePredictor(1 << 12, 12), gcc_trace,
+                       engine="batched")
+    assert batched.mispredictions == scalar.mispredictions
+    assert batched.engine == "batched"
+
+
+def _make_gshare(history_length: int) -> GsharePredictor:
+    """Module-level factory: picklable, as sweep_parallel requires."""
+    return GsharePredictor(1 << 12, history_length)
+
+
+def test_sweep_parallel_matches_serial_sweep(gcc_trace):
+    lengths = [4, 8, 12]
+    traces = {"gcc": gcc_trace}
+    serial = sweep(_make_gshare, lengths, traces, engine="batched")
+    parallel = sweep_parallel(_make_gshare, lengths, traces,
+                              engine="batched", max_workers=2)
+    assert [p.value for p in parallel] == lengths
+    for serial_point, parallel_point in zip(serial, parallel):
+        assert parallel_point.mean_misp_per_ki == serial_point.mean_misp_per_ki
+        assert parallel_point.per_benchmark == serial_point.per_benchmark
+
+
+def test_sweep_parallel_falls_back_on_unpicklable_factory(gcc_trace):
+    traces = {"gcc": gcc_trace}
+    factory = lambda length: GsharePredictor(1 << 12, length)  # noqa: E731
+    with pytest.warns(RuntimeWarning, match="falling back to serial"):
+        points = sweep_parallel(factory, [4, 8], traces, max_workers=2)
+    assert [p.value for p in points] == [4, 8]
+
+
+def test_simulation_engine_protocol_repr():
+    engine = ScalarEngine()
+    assert isinstance(engine, SimulationEngine)
+    assert "scalar" in repr(engine)

@@ -92,6 +92,32 @@ class TestCache:
         regenerated = cache.get_or_generate("demo", {"n": 3}, demo_trace)
         assert regenerated.conditional_count == 2
 
+    def test_garbage_npz_regenerated_and_overwritten(self, tmp_path):
+        # A corrupt archive is not a zip file at all, so np.load raises
+        # zipfile.BadZipFile rather than a numpy error; the cache must treat
+        # it like any other corrupt entry: regenerate and rewrite the file.
+        cache = TraceCache(tmp_path)
+        cache.get_or_generate("demo", {"n": 3}, demo_trace)
+        cache.clear_memory()
+        (entry,) = tmp_path.glob("*.npz")
+        entry.write_bytes(b"not a zip archive")
+
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return demo_trace()
+
+        regenerated = cache.get_or_generate("demo", {"n": 3}, generate)
+        assert calls == [1]
+        assert regenerated.conditional_count == 2
+        # The on-disk entry was overwritten with a valid archive: a fresh
+        # cache instance loads it without regenerating.
+        reloaded = TraceCache(tmp_path).get_or_generate("demo", {"n": 3},
+                                                        generate)
+        assert calls == [1]
+        assert reloaded.conditional_count == 2
+
     def test_clear_memory_keeps_disk(self, tmp_path):
         cache = TraceCache(tmp_path)
         calls = []
