@@ -32,13 +32,17 @@ partial update policy needs.
 batched simulation engine (:mod:`repro.sim.engine`): it replays a whole
 predict-then-train index/outcome stream through the array in numpy,
 bit-identically to calling ``predict`` + ``update`` per branch.  The trick:
-with private hysteresis, counters at different indices never interact, so a
-stable sort by index groups each counter's accesses into a contiguous,
-temporally ordered run; within runs, the counter step is a state machine
-over 4 states, and state-machine transition *composition* is associative —
-so the per-run sequential dependence resolves with a segmented Hillis-Steele
-prefix scan (log2(n) fully-vectorized composition passes) instead of a
-per-branch Python loop.
+counters in different *hysteresis groups* never interact (with private
+hysteresis a group is a single counter; with shared hysteresis it is the
+``size / hysteresis_size`` prediction entries around one hysteresis bit), so
+a stable sort by group index gathers each group's accesses into a
+contiguous, temporally ordered run; within runs, the group is a state
+machine over ``2^(ratio+1)`` states — the partner direction bits plus the
+shared strength bit — and state-machine transition *composition* is
+associative, so the per-run sequential dependence resolves with a segmented
+Hillis-Steele prefix scan (log2(n) fully-vectorized composition passes)
+instead of a per-branch Python loop.  Private hysteresis is simply the
+4-state, ratio-1 instance of the same machine.
 """
 
 from __future__ import annotations
@@ -53,6 +57,48 @@ __all__ = ["SplitCounterArray"]
 # training on a not-taken / taken outcome — exactly ``_step_towards``.
 _STEP_NOT_TAKEN = np.array([1, 1, 0, 2], dtype=np.uint8)
 _STEP_TAKEN = np.array([2, 0, 3, 3], dtype=np.uint8)
+
+_MAX_SHARING_RATIO = 5
+"""Largest ``size / hysteresis_size`` the batched scan supports: the group
+state packs ``ratio`` direction bits plus the strength bit, so the
+transition tables have ``2^(ratio+1)`` columns and the scan carries that
+many bytes per access.  The EV8 uses ratio 2; 5 (a 64-state machine) is
+already far beyond any configuration in the paper."""
+
+_GROUP_STEP_CACHE: dict[int, np.ndarray] = {}
+
+
+def _group_step_table(ratio: int) -> np.ndarray:
+    """Transition tables for a hysteresis group of ``ratio`` prediction
+    entries sharing one strength bit.
+
+    Group state ``s = (direction bits << 1) | strength`` (direction bit
+    ``k`` belongs to the prediction entry ``base + k * hysteresis_size``).
+    Row ``2 * k + taken`` maps every state to the state after an ``update``
+    step through partner ``k`` towards ``taken`` — the exact
+    ``_step_towards`` semantics, lifted to the group.  ``ratio == 1``
+    reproduces the classic 4-state saturating-counter tables.
+    """
+    table = _GROUP_STEP_CACHE.get(ratio)
+    if table is not None:
+        return table
+    states = 1 << (ratio + 1)
+    table = np.empty((2 * ratio, states), dtype=np.uint8)
+    for partner in range(ratio):
+        for taken in (0, 1):
+            for state in range(states):
+                strength = state & 1
+                directions = state >> 1
+                direction = (directions >> partner) & 1
+                if direction == taken:
+                    strength = 1
+                elif strength:
+                    strength = 0
+                else:
+                    directions ^= 1 << partner  # flip, stay weak
+                table[2 * partner + taken, state] = (directions << 1) | strength
+    _GROUP_STEP_CACHE[ratio] = table
+    return table
 
 
 class SplitCounterArray:
@@ -181,11 +227,15 @@ class SplitCounterArray:
     def batch_supported(self) -> bool:
         """Whether :meth:`batch_access` is available.
 
-        Shared hysteresis couples prediction entries through their common
-        hysteresis bit, so the per-index independence the sort-and-scan
-        relies on does not hold; those configurations must replay scalar.
+        Shared hysteresis couples the prediction entries around each
+        hysteresis bit, but the coupling is *local to the group*: grouping
+        the access stream by hysteresis index restores the independence the
+        sort-and-scan relies on, with the group's joint (directions,
+        strength) state as the scanned state machine.  Only absurd sharing
+        ratios (state space beyond ``2^(ratio+1)`` = 64 states) fall outside
+        the envelope.
         """
-        return self.hysteresis_size == self.size
+        return self.size // self.hysteresis_size <= _MAX_SHARING_RATIO
 
     def batch_access(self, indices: np.ndarray, takens: np.ndarray,
                      chunk: int = 1 << 20) -> np.ndarray:
@@ -194,14 +244,17 @@ class SplitCounterArray:
         Equivalent to ``[self.predict(i) for i in indices]`` interleaved with
         ``self.update(i, t)`` per element, in stream order: returns the
         per-access predictions (bool array) and leaves every counter in the
-        same final state the scalar replay would.  Processed in chunks of
-        ``chunk`` accesses to bound the scan's working memory; the table
-        state carries between chunks, so chunking does not change results.
+        same final state the scalar replay would — including shared/half-size
+        hysteresis configurations, which scan over the joint group state.
+        Processed in chunks of ``chunk`` accesses to bound the scan's working
+        memory; the table state carries between chunks, so chunking does not
+        change results.
         """
         if not self.batch_supported:
             raise ValueError(
-                "batch_access requires private hysteresis (shared-hysteresis"
-                " arrays couple entries and must be replayed scalar)")
+                f"batch_access supports hysteresis sharing ratios up to "
+                f"{_MAX_SHARING_RATIO}, got "
+                f"{self.size // self.hysteresis_size}")
         indices = np.asarray(indices).astype(np.int64, copy=False)
         takens = np.asarray(takens, dtype=np.bool_)
         if indices.shape != takens.shape:
@@ -221,19 +274,24 @@ class SplitCounterArray:
         n = len(indices)
         if n == 0:
             return np.empty(0, dtype=np.bool_)
-        order = np.argsort(indices, kind="stable")
-        sorted_index = indices[order]
-        sorted_taken = takens[order]
+        ratio = self.size // self.hysteresis_size
+        groups = indices & (self.hysteresis_size - 1)
+        partners = indices >> (self.hysteresis_size.bit_length() - 1)
+        order = np.argsort(groups, kind="stable")
+        sorted_group = groups[order]
+        sorted_partner = partners[order].astype(np.uint8)
 
-        # Per-access transition functions as rows of 4 next-states, then an
+        # Per-access transition functions as rows of 2^(ratio+1) next-states
+        # — row ``2 * partner + taken`` of the group step table — then an
         # inclusive segmented prefix scan composing them (segment = run of
-        # equal indices; the sort makes segment membership a plain equality
-        # test at any doubling distance).
-        prefix = np.where(sorted_taken[:, None], _STEP_TAKEN[None, :],
-                          _STEP_NOT_TAKEN[None, :])
+        # equal group indices; the sort makes segment membership a plain
+        # equality test at any doubling distance).
+        table = _group_step_table(ratio)
+        variant = 2 * sorted_partner + takens[order]
+        prefix = table[variant]
         shift = 1
         while shift < n:
-            rows = np.nonzero(sorted_index[shift:] == sorted_index[:-shift])[0]
+            rows = np.nonzero(sorted_group[shift:] == sorted_group[:-shift])[0]
             if rows.size == 0:
                 # Runs are contiguous, so no pair at this distance in the
                 # same segment means the longest run is <= shift: done.
@@ -244,12 +302,15 @@ class SplitCounterArray:
 
         prediction_view = np.frombuffer(self._prediction, dtype=np.uint8)
         hysteresis_view = np.frombuffer(self._hysteresis, dtype=np.uint8)
-        initial = (2 * prediction_view[sorted_index]
-                   + hysteresis_view[sorted_index]).astype(np.uint8)
+        directions = np.zeros(n, dtype=np.uint8)
+        for k in range(ratio):
+            directions |= prediction_view[sorted_group
+                                          + k * self.hysteresis_size] << k
+        initial = (directions << 1) | hysteresis_view[sorted_group]
 
         first = np.empty(n, dtype=np.bool_)
         first[0] = True
-        first[1:] = sorted_index[1:] != sorted_index[:-1]
+        first[1:] = sorted_group[1:] != sorted_group[:-1]
         state_before = np.empty(n, dtype=np.uint8)
         state_before[first] = initial[first]
         if n > 1:
@@ -258,22 +319,79 @@ class SplitCounterArray:
             interior = ~first[1:]
             state_before[1:][interior] = carried[interior]
 
-        # Final state per touched counter: the inclusive prefix of each
-        # segment's last access, applied to that counter's initial state.
+        # Final state per touched group: the inclusive prefix of each
+        # segment's last access, applied to that group's initial state.
         last = np.empty(n, dtype=np.bool_)
         last[-1] = True
         last[:-1] = first[1:]
         state_after = np.take_along_axis(prefix[last],
                                          initial[last][:, None], axis=1)[:, 0]
-        touched = sorted_index[last]
-        np.frombuffer(self._prediction, dtype=np.uint8)[touched] = \
-            state_after >> 1
-        np.frombuffer(self._hysteresis, dtype=np.uint8)[touched] = \
-            state_after & 1
+        touched = sorted_group[last]
+        hysteresis_view[touched] = state_after & 1
+        final_directions = state_after >> 1
+        for k in range(ratio):
+            prediction_view[touched + k * self.hysteresis_size] = \
+                (final_directions >> k) & 1
 
         predictions = np.empty(n, dtype=np.bool_)
-        predictions[order] = state_before >= 2
+        predictions[order] = ((state_before >> 1) >> sorted_partner) & 1 != 0
         return predictions
+
+    # -- vectorized scatter/gather helpers (group-unique index sets) ---------
+
+    def predict_many(self, indices: np.ndarray) -> np.ndarray:
+        """Gather direction bits for an int index array (read-only, any
+        duplicates allowed) — the vectorized :meth:`predict`."""
+        view = np.frombuffer(self._prediction, dtype=np.uint8)
+        return view[indices & (self.size - 1)] != 0
+
+    def packed_many(self, indices: np.ndarray) -> np.ndarray:
+        """Gather packed counter states ``2*direction + strength`` (uint8,
+        read-only, duplicates allowed)."""
+        indices = indices & (self.size - 1)
+        prediction = np.frombuffer(self._prediction, dtype=np.uint8)[indices]
+        hysteresis = np.frombuffer(self._hysteresis, dtype=np.uint8)[
+            indices & (self.hysteresis_size - 1)]
+        return (prediction << 1) | hysteresis
+
+    def train_many_unique(self, indices: np.ndarray, takens: np.ndarray,
+                          strengthen: np.ndarray | None = None,
+                          update: np.ndarray | None = None) -> None:
+        """Vectorized :meth:`strengthen` / :meth:`update` over positions
+        whose **hysteresis groups are pairwise distinct** within the call
+        (the caller guarantees no two selected positions share a hysteresis
+        entry, hence no ordering between them matters).
+
+        ``strengthen`` and ``update`` are disjoint boolean masks selecting
+        which positions receive which operation; unselected positions are
+        untouched.
+        """
+        if strengthen is None and update is None:
+            return
+        if strengthen is None:
+            selected = update
+        elif update is None:
+            selected = strengthen
+        else:
+            selected = strengthen | update
+        if not selected.any():
+            return
+        idx = (indices & (self.size - 1))[selected]
+        taken = takens[selected]
+        h_idx = idx & (self.hysteresis_size - 1)
+        prediction_view = np.frombuffer(self._prediction, dtype=np.uint8)
+        hysteresis_view = np.frombuffer(self._hysteresis, dtype=np.uint8)
+        direction = prediction_view[idx]
+        state = (direction << 1) | hysteresis_view[h_idx]
+        stepped = np.where(taken, _STEP_TAKEN[state], _STEP_NOT_TAKEN[state])
+        if strengthen is not None:
+            # Strengthen with an agreeing direction saturates the strength
+            # bit; with a disagreeing direction it degenerates to a step
+            # (exactly the scalar ``strengthen``).
+            agreeing = strengthen[selected] & ((direction != 0) == taken)
+            stepped = np.where(agreeing, (direction << 1) | 1, stepped)
+        prediction_view[idx] = stepped >> 1
+        hysteresis_view[h_idx] = stepped & 1
 
     def set_counter(self, index: int, value: int) -> None:
         """Force a counter to a conventional 2-bit value (0..3). Test hook."""

@@ -1,0 +1,56 @@
+"""Coupling analysis for multi-table batched replay.
+
+Multi-table predictors with partial update (e-gskew, 2Bc-gskew) have a true
+sequential dependence: what each access *writes* depends on what all its
+tables *read*, and a later access reading the same entry sees those writes.
+That dependence cannot be scanned away like a single table's counter
+machine — but it is **sparse**.  Within a bounded chunk of the access
+stream, a position whose counter entries are touched by no other position
+in the chunk can be replayed in any order relative to the rest:
+
+* no other position writes what it reads (its reads equal the chunk-entry
+  state), and
+* nothing it writes is read or written by any other position.
+
+So each chunk splits into an *uncoupled* set — replayed in one vectorized
+pass against the chunk-entry table state — and a *coupled* remainder,
+replayed scalar in stream order (coupled positions only ever share entries
+with other coupled positions, so their mutual order is preserved).
+
+The entry-granularity test is done on **hysteresis-group keys** (the index
+modulo the hysteresis size): two indices interact iff they fall in the same
+group — equal indices share both arrays, unequal indices in one group share
+the hysteresis bit (Section 4.4's shared hysteresis).  Private hysteresis
+degenerates to plain index equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uncoupled_positions", "REPLAY_CHUNK"]
+
+REPLAY_CHUNK = 8192
+"""Default replay chunk length.
+
+The tension: longer chunks amortize the vectorized passes over more
+positions, but raise the probability that two positions collide in some
+table (coupling is quadratic in chunk length for a uniform index stream),
+pushing more of the stream onto the scalar path."""
+
+
+def uncoupled_positions(*key_streams: np.ndarray) -> np.ndarray:
+    """Mask of positions whose key is unique in **every** stream.
+
+    Each ``key_streams[t]`` holds one table's entry keys for the same chunk
+    of accesses; a position is uncoupled iff, for every table, no other
+    position in the chunk has the same key.
+    """
+    mask: np.ndarray | None = None
+    for keys in key_streams:
+        _, inverse, counts = np.unique(keys, return_inverse=True,
+                                       return_counts=True)
+        unique_here = counts[inverse] == 1
+        mask = unique_here if mask is None else mask & unique_here
+    assert mask is not None
+    return mask

@@ -35,7 +35,9 @@ remaining bits take path information from block Z.
 
 from __future__ import annotations
 
-from repro.history.providers import InfoVector
+import numpy as np
+
+from repro.history.providers import InfoVector, VectorBatch
 from repro.predictors.twobcgskew import IndexScheme, TableConfig
 
 __all__ = ["EV8IndexScheme", "decompose_index", "WORDLINE_MODES"]
@@ -47,6 +49,11 @@ history+address bits, or pure address bits ("address only" rows)."""
 
 def _bit(value: int, position: int) -> int:
     return (value >> position) & 1
+
+
+def _vbit(values: np.ndarray, position: int) -> np.ndarray:
+    """Columnar :func:`_bit`: extract one bit from a uint64 column."""
+    return (values >> np.uint64(position)) & np.uint64(1)
 
 
 def decompose_index(index: int, column_bits: int = 5) -> tuple[int, int, int, int]:
@@ -77,6 +84,10 @@ class EV8IndexScheme(IndexScheme):
         information vector (the EV8).  When False, bank = (a6, a5) — pure
         address interleaving, used by the Fig 9 "address only" rows.
     """
+
+    #: Both the scalar and the batch path are implemented, so the hardware
+    #: configuration is inside the batched engine's envelope.
+    vectorized = True
 
     def __init__(self, wordline_mode: str = "history",
                  use_block_bank: bool = True) -> None:
@@ -185,5 +196,110 @@ class EV8IndexScheme(IndexScheme):
         meta_index = self._compose(meta_column, line, slot,
                                    (meta_i4 << 2) | (meta_i3 << 1) | meta_i2,
                                    bank)
+
+        return bim_index, g0_index, g1_index, meta_index
+
+    # -- batch path ----------------------------------------------------------
+
+    def _shared_batch(self, batch: VectorBatch
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar :meth:`_shared`: (bank, wordline, slot) columns."""
+        a = batch.address
+        if self.use_block_bank:
+            bank = (batch.bank if batch.bank is not None
+                    else np.zeros(len(batch), dtype=np.uint64)) \
+                & np.uint64(0b11)
+        else:
+            bank = (a >> np.uint64(5)) & np.uint64(0b11)
+        if self.wordline_mode == "history":
+            line = ((batch.history & np.uint64(0b1111)) << np.uint64(2)) \
+                | ((a >> np.uint64(7)) & np.uint64(0b11))
+        else:
+            line = (a >> np.uint64(7)) & np.uint64(0b111111)
+        slot = (batch.branch_pc >> np.uint64(2)) & np.uint64(0b111)
+        return bank, line, slot
+
+    @staticmethod
+    def _compose_batch(column: np.ndarray, line: np.ndarray,
+                       slot: np.ndarray, unshuffle: np.ndarray,
+                       bank: np.ndarray) -> np.ndarray:
+        return ((column << np.uint64(11)) | (line << np.uint64(5))
+                | ((slot ^ unshuffle) << np.uint64(2))
+                | bank).astype(np.int64)
+
+    def compute_batch(self, batch: VectorBatch,
+                      configs: tuple[TableConfig, TableConfig, TableConfig,
+                                     TableConfig]
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]:
+        """Columnar :meth:`compute`: the same XOR trees evaluated once per
+        bit position over whole uint64 columns instead of once per branch."""
+        bank, line, slot = self._shared_batch(batch)
+        h = batch.history
+        a = batch.address
+        if batch.path_depth:
+            z = batch.path[0]
+        else:
+            z = np.zeros(len(batch), dtype=np.uint64)
+        one = np.uint64(1)
+        two = np.uint64(2)
+
+        bim_column = ((_vbit(a, 11) << two)
+                      | ((_vbit(a, 10) ^ _vbit(z, 6)) << one)
+                      | (_vbit(a, 9) ^ _vbit(z, 5)))
+        bim_unshuffle = ((_vbit(a, 4) << two)
+                         | ((_vbit(a, 3) ^ _vbit(z, 6)) << one)
+                         | (_vbit(a, 2) ^ _vbit(z, 5)))
+        bim_index = self._compose_batch(bim_column, line, slot,
+                                        bim_unshuffle, bank)
+
+        g0_column = (((_vbit(h, 7) ^ _vbit(h, 11)) << np.uint64(4))
+                     | ((_vbit(h, 8) ^ _vbit(h, 12)) << np.uint64(3))
+                     | ((_vbit(h, 6) ^ _vbit(h, 10)) << two)
+                     | ((_vbit(h, 5) ^ _vbit(h, 9)) << one)
+                     | (_vbit(a, 10) ^ _vbit(h, 4)))
+        g0_i4 = (_vbit(a, 3) ^ _vbit(a, 12) ^ _vbit(a, 13) ^ _vbit(h, 5)
+                 ^ _vbit(h, 8) ^ _vbit(h, 11) ^ _vbit(z, 5))
+        g0_i3 = (_vbit(a, 11) ^ _vbit(h, 9) ^ _vbit(h, 10) ^ _vbit(h, 12)
+                 ^ _vbit(z, 6) ^ _vbit(a, 5))
+        g0_i2 = (_vbit(a, 2) ^ _vbit(a, 14) ^ _vbit(a, 10) ^ _vbit(h, 6)
+                 ^ _vbit(h, 4) ^ _vbit(h, 7) ^ _vbit(a, 6))
+        g0_index = self._compose_batch(
+            g0_column, line, slot, (g0_i4 << two) | (g0_i3 << one) | g0_i2,
+            bank)
+
+        g1_column = (((_vbit(h, 19) ^ _vbit(h, 12)) << np.uint64(4))
+                     | ((_vbit(h, 18) ^ _vbit(h, 11)) << np.uint64(3))
+                     | ((_vbit(h, 17) ^ _vbit(h, 10)) << two)
+                     | ((_vbit(h, 16) ^ _vbit(h, 4)) << one)
+                     | (_vbit(h, 15) ^ _vbit(h, 20)))
+        g1_i4 = (_vbit(h, 9) ^ _vbit(h, 14) ^ _vbit(h, 15) ^ _vbit(h, 16)
+                 ^ _vbit(z, 6))
+        g1_i3 = (_vbit(a, 3) ^ _vbit(a, 4) ^ _vbit(a, 6) ^ _vbit(a, 10)
+                 ^ _vbit(a, 11) ^ _vbit(a, 13) ^ _vbit(a, 14) ^ _vbit(h, 5)
+                 ^ _vbit(h, 11) ^ _vbit(h, 20) ^ _vbit(z, 5))
+        g1_i2 = (_vbit(a, 2) ^ _vbit(a, 5) ^ _vbit(a, 9) ^ _vbit(h, 4)
+                 ^ _vbit(h, 7) ^ _vbit(h, 8) ^ _vbit(h, 10) ^ _vbit(h, 12)
+                 ^ _vbit(h, 13) ^ _vbit(h, 14) ^ _vbit(h, 17))
+        g1_index = self._compose_batch(
+            g1_column, line, slot, (g1_i4 << two) | (g1_i3 << one) | g1_i2,
+            bank)
+
+        meta_column = (((_vbit(h, 7) ^ _vbit(h, 11)) << np.uint64(4))
+                       | ((_vbit(h, 8) ^ _vbit(h, 12)) << np.uint64(3))
+                       | ((_vbit(h, 5) ^ _vbit(h, 13)) << two)
+                       | ((_vbit(h, 4) ^ _vbit(h, 9)) << one)
+                       | (_vbit(a, 9) ^ _vbit(h, 6)))
+        meta_i4 = (_vbit(a, 4) ^ _vbit(a, 10) ^ _vbit(a, 5) ^ _vbit(h, 7)
+                   ^ _vbit(h, 10) ^ _vbit(h, 14) ^ _vbit(h, 13)
+                   ^ _vbit(z, 5))
+        meta_i3 = (_vbit(a, 3) ^ _vbit(a, 12) ^ _vbit(a, 14) ^ _vbit(a, 6)
+                   ^ _vbit(h, 4) ^ _vbit(h, 6) ^ _vbit(h, 8) ^ _vbit(h, 14))
+        meta_i2 = (_vbit(a, 2) ^ _vbit(a, 9) ^ _vbit(a, 11) ^ _vbit(a, 13)
+                   ^ _vbit(h, 5) ^ _vbit(h, 9) ^ _vbit(h, 11) ^ _vbit(h, 12)
+                   ^ _vbit(z, 6))
+        meta_index = self._compose_batch(
+            meta_column, line, slot,
+            (meta_i4 << two) | (meta_i3 << one) | meta_i2, bank)
 
         return bim_index, g0_index, g1_index, meta_index

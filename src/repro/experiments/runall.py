@@ -9,7 +9,9 @@ finding and the measured reproduction.
 from __future__ import annotations
 
 import argparse
+import os
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.experiments import (
@@ -22,6 +24,8 @@ from repro.experiments import (
     table2,
     table3,
 )
+from repro.sim.engine import ENGINE_ENV_VAR
+from repro.sim.result_cache import CACHE_ENV_VAR
 from repro.workloads.spec95 import default_trace_branches
 
 __all__ = ["run_all", "main"]
@@ -51,8 +55,39 @@ _SECTIONS = (
 )
 
 
-def run_all(num_branches: int | None = None) -> str:
-    """Run every experiment; return the consolidated Markdown report."""
+@contextmanager
+def _runtime_defaults(engine: str | None, use_cache: bool):
+    """Default the engine and cache environment for the duration of a run.
+
+    Experiment modules resolve ``engine=None`` and ``use_cache=None``
+    through the environment, so setting these two variables routes every
+    figure through the chosen engine and the persistent result cache.  An
+    already-set variable always wins (the user's environment overrides our
+    defaults), and any variable we set is removed afterwards.
+    """
+    ours: list[str] = []
+    if engine is not None and ENGINE_ENV_VAR not in os.environ:
+        os.environ[ENGINE_ENV_VAR] = engine
+        ours.append(ENGINE_ENV_VAR)
+    if use_cache and CACHE_ENV_VAR not in os.environ:
+        os.environ[CACHE_ENV_VAR] = "1"
+        ours.append(CACHE_ENV_VAR)
+    try:
+        yield
+    finally:
+        for name in ours:
+            os.environ.pop(name, None)
+
+
+def run_all(num_branches: int | None = None, engine: str | None = "batched",
+            use_cache: bool = True) -> str:
+    """Run every experiment; return the consolidated Markdown report.
+
+    By default every section runs on the batched engine with the
+    persistent result cache enabled, so a repeated invocation skips all
+    unchanged simulations; explicit ``REPRO_SIM_ENGINE`` /
+    ``REPRO_RESULT_CACHE`` environment settings take precedence.
+    """
     branches = num_branches or default_trace_branches()
     lines = [
         "# Measured reproduction report",
@@ -62,19 +97,20 @@ def run_all(num_branches: int | None = None) -> str:
         f"everywhere.",
         "",
     ]
-    for title, module, finding in _SECTIONS:
-        started = time.time()
-        result = module.run(num_branches)
-        rendered = module.render(result)
-        lines.append(f"## {title}")
-        lines.append("")
-        lines.append(f"*Paper finding:* {finding}")
-        lines.append("")
-        lines.append("```")
-        lines.append(rendered)
-        lines.append("```")
-        lines.append(f"*({time.time() - started:.0f}s)*")
-        lines.append("")
+    with _runtime_defaults(engine, use_cache):
+        for title, module, finding in _SECTIONS:
+            started = time.time()
+            result = module.run(num_branches)
+            rendered = module.render(result)
+            lines.append(f"## {title}")
+            lines.append("")
+            lines.append(f"*Paper finding:* {finding}")
+            lines.append("")
+            lines.append("```")
+            lines.append(rendered)
+            lines.append("```")
+            lines.append(f"*({time.time() - started:.0f}s)*")
+            lines.append("")
     return "\n".join(lines)
 
 
@@ -83,8 +119,14 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI
     parser.add_argument("--branches", type=int, default=None)
     parser.add_argument("--output", type=Path, default=None,
                         help="write the report to a file instead of stdout")
+    parser.add_argument("--engine", default="batched",
+                        help="simulation engine for every section "
+                             "(default: batched)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
     args = parser.parse_args(argv)
-    report = run_all(args.branches)
+    report = run_all(args.branches, engine=args.engine,
+                     use_cache=not args.no_cache)
     if args.output:
         args.output.write_text(report)
         print(f"wrote {args.output}")

@@ -83,7 +83,9 @@ class VectorBatch:
     dependence is resolved here, once, instead of inside the predictor loop.
 
     ``path`` is shaped ``(path_depth, n)`` with row 0 the youngest previous
-    fetch-block address (the paper's Z, then Y, X ...).
+    fetch-block address (the paper's Z, then Y, X ...).  ``bank`` is the
+    front-end bank-number column (``None`` for providers that do not model
+    banking, mirroring :class:`InfoVector`'s zero default).
     """
 
     history: np.ndarray
@@ -91,6 +93,7 @@ class VectorBatch:
     branch_pc: np.ndarray
     path: np.ndarray
     takens: np.ndarray
+    bank: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.branch_pc)
@@ -333,6 +336,89 @@ class BlockLghistProvider(HistoryProvider):
         self._path.reset()
         self._banks.reset()
         self._block_bank = None
+
+    def materialize(self, trace: Trace) -> VectorBatch | None:
+        """Whole-trace lghist vectors, bit-identical to the scalar walk.
+
+        The register semantics vectorize cleanly because lghist is a pure
+        function of *which blocks inserted a bit* and *when those bits age
+        in*: only the last conditional branch of a block inserts (outcome
+        XOR PC bit 4 when ``include_path``), and the bit inserted by block
+        ``j`` is visible when predicting block ``b`` iff
+        ``j < b - delay_blocks`` (it must have left the ``delay_blocks``-deep
+        pending pipeline before block ``b``'s read).  So: pack the insert-bit
+        sequence into running uint64 windows with one OR-shift pass per
+        capacity bit, and gather each block's window by *counting* (via
+        ``searchsorted``) how many inserting blocks precede its visibility
+        horizon.  Path columns and the front-end bank stream are per-block
+        gathers, shared by every branch of the block.
+        """
+        register = self._lghist
+        if register.capacity > 64:
+            return None  # histories no longer fit a uint64 column
+        key = (register.include_path, register.delay_blocks,
+               register.capacity, self._path.depth)
+        cached = _LGHIST_BATCH_CACHE.setdefault(trace, {}).get(key)
+        if cached is not None:
+            return cached
+        geometry = _branch_block_geometry(trace)
+        if geometry is None:
+            pcs, takens, ordinals, starts = _branch_block_geometry_slow(trace)
+        else:
+            pcs, takens, ordinals, starts = geometry
+        n = len(pcs)
+        num_blocks = len(starts)
+
+        # Insert-bit sequence: one bit per block that ends >= 1 conditional
+        # branch, from that block's *last* branch.
+        is_last = np.empty(n, dtype=np.bool_)
+        if n:
+            is_last[-1] = True
+            is_last[:-1] = ordinals[1:] != ordinals[:-1]
+        bit_blocks = ordinals[is_last]
+        bits = takens[is_last].astype(np.uint64)
+        if register.include_path:
+            from repro.history.lghist import PATH_BIT_POSITION
+            bits ^= (pcs[is_last] >> np.uint64(PATH_BIT_POSITION)) \
+                & np.uint64(1)
+
+        # windows[k] = packed history after the first k+1 inserted bits
+        # (bit 0 youngest) — the OR-shift pass from the ghist materializer.
+        num_bits = len(bits)
+        windows = np.zeros(num_bits, dtype=np.uint64)
+        for age in range(min(register.capacity, num_bits)):
+            windows[age:] |= bits[:num_bits - age] << np.uint64(age)
+
+        # Visible history per block: the window after the last bit whose
+        # block has aged past the visibility horizon.
+        visible_counts = np.searchsorted(
+            bit_blocks, np.arange(num_blocks) - register.delay_blocks,
+            side="left")
+        block_history = np.zeros(num_blocks, dtype=np.uint64)
+        has_bits = visible_counts > 0
+        block_history[has_bits] = windows[visible_counts[has_bits] - 1]
+
+        block_path = np.zeros((self._path.depth, num_blocks), dtype=np.uint64)
+        for age in range(self._path.depth):
+            block_path[age, age + 1:] = starts[:num_blocks - age - 1]
+        from repro.ev8.banks import bank_numbers_vec
+        block_bank = bank_numbers_vec(starts).astype(np.uint64)
+
+        history = block_history[ordinals]
+        address = starts[ordinals]
+        path = block_path[:, ordinals]
+        bank = block_bank[ordinals]
+        batch = VectorBatch(history=history, address=address, branch_pc=pcs,
+                            path=path, takens=takens, bank=bank)
+        for column in (history, address, pcs, path, takens, bank):
+            column.setflags(write=False)  # cached batches are shared
+        _LGHIST_BATCH_CACHE[trace][key] = batch
+        return batch
+
+
+_LGHIST_BATCH_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+"""Materialized lghist batches per trace, keyed by (include_path,
+delay_blocks, capacity, path_depth) — the full provider configuration."""
 
 
 def ev8_info_provider(capacity: int = 64) -> BlockLghistProvider:

@@ -23,7 +23,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.bitops import mask
-from repro.common.counters import SplitCounterArray
+from repro.common.counters import (_STEP_NOT_TAKEN, _STEP_TAKEN,
+                                   SplitCounterArray)
+from repro.common.replay import REPLAY_CHUNK, uncoupled_positions
 from repro.history.providers import InfoVector, VectorBatch
 from repro.indexing.fold import info_word, info_word_vec
 from repro.indexing.skew import skew_index, skew_index_vec
@@ -236,26 +238,115 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
     def batch_supported(self) -> bool:
         return self.index_scheme.vectorized
 
-    def batch_access(self, batch: VectorBatch) -> np.ndarray:
-        """Batched replay: all four index streams are precomputed with the
-        vectorized index scheme; the counter traffic replays scalar because
-        the partial-update policy couples BIM/G0/G1/Meta through the
-        majority vote and the chooser — a true sequential dependence."""
-        bim_stream, g0_stream, g1_stream, meta_stream = (
-            array.tolist()
-            for array in self.index_scheme.compute_batch(batch, self.configs))
-        taken_stream = batch.takens.tolist()
-        predictions = np.empty(len(batch), dtype=np.bool_)
+    def batch_access(self, batch: VectorBatch,
+                     chunk: int = REPLAY_CHUNK) -> np.ndarray:
+        """Batched replay: chunked, serializing only coupled positions.
+
+        All four index streams are precomputed with the vectorized index
+        scheme.  The partial-update policy couples BIM/G0/G1/Meta through
+        the majority vote and the chooser, so the counter traffic cannot be
+        scanned like a single table's — but the coupling is sparse: within
+        each chunk, positions whose four hysteresis groups are touched by no
+        other position replay in one vectorized pass
+        (:meth:`_train_many_uncoupled`), and only the colliding remainder
+        replays scalar, in stream order (see :mod:`repro.common.replay`).
+        """
+        tables = (self.bim, self.g0, self.g1, self.meta)
+        streams = [stream.astype(np.int64, copy=False)
+                   & np.int64(table.size - 1)
+                   for stream, table in zip(
+                       self.index_scheme.compute_batch(batch, self.configs),
+                       tables)]
+        takens = batch.takens
+        n = len(batch)
+        predictions = np.empty(n, dtype=np.bool_)
+        for lo in range(0, n, max(chunk, 1)):
+            hi = min(lo + max(chunk, 1), n)
+            self._replay_chunk([stream[lo:hi] for stream in streams],
+                               takens[lo:hi], predictions[lo:hi])
+        return predictions
+
+    def _replay_chunk(self, indices: list[np.ndarray], takens: np.ndarray,
+                      out: np.ndarray) -> None:
+        tables = (self.bim, self.g0, self.g1, self.meta)
+        uncoupled = uncoupled_positions(*(
+            stream & np.int64(table.hysteresis_size - 1)
+            for stream, table in zip(indices, tables)))
+        if uncoupled.any():
+            out[uncoupled] = self._train_many_uncoupled(
+                [stream[uncoupled] for stream in indices], takens[uncoupled])
+        coupled = np.nonzero(~uncoupled)[0]
+        if not len(coupled):
+            return
         read = self._read
         train = self._train
-        for position, (bim_i, g0_i, g1_i, meta_i, taken) in enumerate(
-                zip(bim_stream, g0_stream, g1_stream, meta_stream,
-                    taken_stream)):
-            indices = (bim_i, g0_i, g1_i, meta_i)
-            state = read(indices)
-            train(indices, state, taken)
-            predictions[position] = state[-1]
-        return predictions
+        for position, bim_i, g0_i, g1_i, meta_i, taken in zip(
+                coupled.tolist(), indices[0][coupled].tolist(),
+                indices[1][coupled].tolist(), indices[2][coupled].tolist(),
+                indices[3][coupled].tolist(), takens[coupled].tolist()):
+            four = (bim_i, g0_i, g1_i, meta_i)
+            state = read(four)
+            train(four, state, taken)
+            out[position] = state[-1]
+
+    def _train_many_uncoupled(self, indices: list[np.ndarray],
+                              takens: np.ndarray) -> np.ndarray:
+        """Vectorized read + train over positions with pairwise-disjoint
+        counter entries; returns the overall predictions.
+
+        Every mask below restates one arm of :meth:`_train_partial` /
+        :meth:`_train_total`; the chooser's post-update re-read is resolved
+        by stepping Meta's packed state through the transition tables
+        without touching the array (the actual write happens once, in
+        ``train_many_unique``).
+        """
+        bim_i, g0_i, g1_i, meta_i = indices
+        p_bim = self.bim.predict_many(bim_i)
+        p_g0 = self.g0.predict_many(g0_i)
+        p_g1 = self.g1.predict_many(g1_i)
+        packed_meta = self.meta.packed_many(meta_i)
+        use_majority = packed_meta >= 2
+        majority = (p_bim.astype(np.int8) + p_g0 + p_g1) >= 2
+        overall = np.where(use_majority, majority, p_bim)
+        disagree = p_bim != majority
+        mtaken = majority == takens
+
+        if self.update_policy == "total":
+            self.meta.train_many_unique(meta_i, mtaken, update=disagree)
+            everywhere = np.ones(len(takens), dtype=np.bool_)
+            self.bim.train_many_unique(bim_i, takens, update=everywhere)
+            self.g0.train_many_unique(g0_i, takens, update=everywhere)
+            self.g1.train_many_unique(g1_i, takens, update=everywhere)
+            return overall
+
+        correct = overall == takens
+        all_agree = (p_bim == p_g0) & (p_bim == p_g1)
+        meta_strengthen = correct & disagree
+        meta_update = ~correct & disagree
+        stepped_meta = np.where(mtaken, _STEP_TAKEN[packed_meta],
+                                _STEP_NOT_TAKEN[packed_meta])
+        new_use_majority = stepped_meta >= 2
+        fixed = meta_update & (np.where(new_use_majority, majority, p_bim)
+                               == takens)
+        update_all = (~correct & ~disagree) | (meta_update & ~fixed)
+        majority_side = (correct & ~all_agree & use_majority) \
+            | (fixed & new_use_majority)
+        bim_only = (correct & ~all_agree & ~use_majority) \
+            | (fixed & ~new_use_majority)
+        self.meta.train_many_unique(meta_i, mtaken,
+                                    strengthen=meta_strengthen,
+                                    update=meta_update)
+        self.bim.train_many_unique(
+            bim_i, takens,
+            strengthen=(majority_side & (p_bim == takens)) | bim_only,
+            update=update_all)
+        self.g0.train_many_unique(g0_i, takens,
+                                  strengthen=majority_side & (p_g0 == takens),
+                                  update=update_all)
+        self.g1.train_many_unique(g1_i, takens,
+                                  strengthen=majority_side & (p_g1 == takens),
+                                  update=update_all)
+        return overall
 
     # -- training ------------------------------------------------------------
 

@@ -110,6 +110,11 @@ class ComparisonTable:
                          for benchmark in self.benchmark_names}
                 for config in self.config_names
             },
+            "cache": {
+                config: {benchmark: self.cells[config][benchmark].cache
+                         for benchmark in self.benchmark_names}
+                for config in self.config_names
+            },
         }
 
 
@@ -118,6 +123,7 @@ def run_comparison(configs: dict[str, PredictorFactory],
                    provider_factory: ProviderFactory | None = None,
                    provider_factories: dict[str, ProviderFactory] | None = None,
                    engine: str | SimulationEngine | None = None,
+                   use_cache: bool | None = None,
                    ) -> ComparisonTable:
     """Simulate every configuration on every trace.
 
@@ -125,7 +131,9 @@ def run_comparison(configs: dict[str, PredictorFactory],
     ``provider_factories`` maps configuration name to its own provider
     factory (Fig 7 varies the information vector per configuration while
     the predictor stays fixed).  ``engine`` selects the simulation engine
-    for every cell (name, instance, or None for the environment default).
+    for every cell (name, instance, or None for the environment default);
+    ``use_cache`` opts the cells into the persistent result cache (None
+    defers to ``REPRO_RESULT_CACHE``).
     """
     table = ComparisonTable(config_names=list(configs),
                             benchmark_names=list(traces))
@@ -139,6 +147,6 @@ def run_comparison(configs: dict[str, PredictorFactory],
             else:
                 provider = None
             result = simulate(predictor_factory(), trace, provider,
-                              engine=engine)
+                              engine=engine, use_cache=use_cache)
             table.cells[config_name][benchmark_name] = result
     return table

@@ -19,8 +19,11 @@ per-branch predictors and the block-granular EV8 predictor.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.history.providers import HistoryProvider
 from repro.predictors.base import Predictor
+from repro.sim import result_cache
 from repro.sim.engine import SimulationEngine, get_engine
 from repro.sim.metrics import SimulationResult
 from repro.traces.model import Trace
@@ -31,7 +34,8 @@ __all__ = ["simulate"]
 def simulate(predictor: Predictor, trace: Trace,
              provider: HistoryProvider | None = None,
              warmup_branches: int = 0,
-             engine: str | SimulationEngine | None = None) -> SimulationResult:
+             engine: str | SimulationEngine | None = None,
+             use_cache: bool | None = None) -> SimulationResult:
     """Run one predictor over one trace.
 
     Parameters
@@ -52,5 +56,29 @@ def simulate(predictor: Predictor, trace: Trace,
         ``"batched"``), or ``None`` for the ``REPRO_SIM_ENGINE`` environment
         default (scalar).  Engines are count-equivalent; they differ only in
         throughput.
+    use_cache:
+        Consult/populate the persistent result cache
+        (:mod:`repro.sim.result_cache`).  ``None`` defers to the
+        ``REPRO_RESULT_CACHE`` environment variable.  Inputs that cannot be
+        fingerprinted simply run uncached.
     """
-    return get_engine(engine).run(predictor, trace, provider, warmup_branches)
+    resolved = get_engine(engine)
+    if use_cache is None:
+        use_cache = result_cache.cache_enabled()
+    if use_cache:
+        try:
+            # Key BEFORE running: the simulation mutates predictor state.
+            key = result_cache.result_key(predictor, trace, provider,
+                                          warmup_branches, resolved.name)
+        except result_cache.UncacheableError:
+            key = None
+        if key is not None:
+            cached = result_cache.load(key)
+            if cached is not None:
+                return cached
+            result = replace(
+                resolved.run(predictor, trace, provider, warmup_branches),
+                cache="miss")
+            result_cache.store(key, result)
+            return result
+    return resolved.run(predictor, trace, provider, warmup_branches)

@@ -130,7 +130,8 @@ class BatchedEngine(SimulationEngine):
             return f"{predictor.name} does not implement BatchCapable"
         if not predictor.batch_supported():
             return (f"{predictor.name} configuration cannot run batched "
-                    f"(e.g. shared hysteresis or non-vectorized indexing)")
+                    f"(e.g. non-vectorized index scheme or an extreme "
+                    f"hysteresis sharing ratio)")
         return None
 
     def run(self, predictor: Predictor, trace: Trace,

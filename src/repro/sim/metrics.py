@@ -26,7 +26,10 @@ class SimulationResult:
 
     ``wall_seconds`` and ``engine`` are throughput bookkeeping stamped by
     the simulation engine that produced the result; they do not participate
-    in the paper's accuracy metrics.
+    in the paper's accuracy metrics.  ``cache`` records result-cache
+    provenance: ``"off"`` (caching inactive), ``"miss"`` (simulated and
+    stored) or ``"hit"`` (loaded from the persistent result cache, with
+    the *original* run's ``wall_seconds``).
     """
 
     predictor_name: str
@@ -36,6 +39,7 @@ class SimulationResult:
     instructions: int
     wall_seconds: float = 0.0
     engine: str = "scalar"
+    cache: str = "off"
 
     @property
     def misp_per_ki(self) -> float:

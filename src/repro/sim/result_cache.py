@@ -1,0 +1,214 @@
+"""Persistent on-disk simulation-result cache.
+
+A simulation's counts are a pure function of (predictor configuration,
+trace content, provider configuration, warmup, engine): re-running a figure
+after unrelated edits repeats work whose inputs did not change.  This
+module fingerprints those five inputs into a content-addressed key and
+stores each :class:`~repro.sim.metrics.SimulationResult` as a small JSON
+file, so repeated experiment invocations skip simulation entirely.
+
+Key scheme
+----------
+``result_key`` feeds one SHA-256 with:
+
+* the **predictor** — structural fingerprint of the live object: type
+  name plus every attribute, recursively (table sizes, history lengths,
+  update policy, index-scheme parameters, and the initial counter bytes,
+  so ``init_taken`` variants key differently);
+* the **trace content** — the four trace columns hashed once and memoized
+  per :class:`~repro.traces.model.Trace` object (the trace *name* is
+  deliberately excluded: identical content keys identically);
+* the **provider** — same structural fingerprint (``None`` keys as its own
+  distinct value);
+* ``warmup_branches`` and the resolved **engine name** (engines are
+  count-equivalent by contract, but keying them separately keeps the cache
+  honest if that contract is ever violated and keeps ``wall_seconds``
+  provenance attributable).
+
+Objects containing unhashable leaves (open files, callables, ...) raise
+:class:`UncacheableError`; the driver then simply runs uncached.
+
+The cache activates when ``REPRO_RESULT_CACHE`` is truthy (the experiment
+runner enables it by default); files live under ``REPRO_RESULT_CACHE_DIR``
+(default ``.result_cache/``).  Corrupt or unreadable entries are treated as
+misses and rewritten.  Each result's ``cache`` field records provenance:
+``"off"``, ``"miss"`` (simulated, then stored) or ``"hit"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import types
+from collections import deque
+from pathlib import Path
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.sim.metrics import SimulationResult
+from repro.traces.model import Trace
+
+__all__ = ["CACHE_ENV_VAR", "CACHE_DIR_ENV_VAR", "UncacheableError",
+           "cache_enabled", "cache_dir", "result_key", "load", "store"]
+
+CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
+CACHE_DIR_ENV_VAR = "REPRO_RESULT_CACHE_DIR"
+_DEFAULT_DIR = ".result_cache"
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class UncacheableError(TypeError):
+    """An input's fingerprint cannot be computed deterministically."""
+
+
+def cache_enabled() -> bool:
+    """Whether the environment opts into result caching."""
+    return os.environ.get(CACHE_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def cache_dir() -> Path:
+    """The cache directory (not created until a result is stored)."""
+    env = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+    return Path(env) if env else Path.cwd() / _DEFAULT_DIR
+
+
+# -- fingerprinting ----------------------------------------------------------
+
+_TRACE_HASHES: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _trace_content_digest(trace: Trace) -> bytes:
+    """Content hash of the four trace columns, memoized per trace object."""
+    digest = _TRACE_HASHES.get(trace)
+    if digest is None:
+        hasher = hashlib.sha256()
+        for column in (trace.starts, trace.num_instructions, trace.kinds,
+                       trace.takens):
+            hasher.update(str(column.dtype).encode())
+            hasher.update(np.ascontiguousarray(column).tobytes())
+        digest = hasher.digest()
+        _TRACE_HASHES[trace] = digest
+    return digest
+
+
+def _update(hasher, value, memo: dict[int, int]) -> None:
+    """Feed one value into the hash, recursively and type-tagged.
+
+    ``memo`` maps ``id`` of already-visited composite objects to their
+    visit ordinal, so shared substructure and cycles hash deterministically
+    (the ordinal depends only on traversal order, never on addresses).
+    """
+    if value is None:
+        hasher.update(b"\x00N")
+    elif isinstance(value, bool):
+        hasher.update(b"\x00b1" if value else b"\x00b0")
+    elif isinstance(value, int):
+        hasher.update(b"\x00i" + str(value).encode())
+    elif isinstance(value, float):
+        hasher.update(b"\x00f" + repr(value).encode())
+    elif isinstance(value, str):
+        encoded = value.encode()
+        hasher.update(b"\x00s" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(value, (bytes, bytearray)):
+        hasher.update(b"\x00y" + str(len(value)).encode() + b":")
+        hasher.update(bytes(value))
+    elif isinstance(value, np.ndarray):
+        hasher.update(b"\x00a" + str(value.dtype).encode()
+                      + repr(value.shape).encode())
+        hasher.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (list, tuple, deque)):
+        tag = {list: b"\x00L", tuple: b"\x00T", deque: b"\x00D"}[type(value)]
+        hasher.update(tag + str(len(value)).encode())
+        for item in value:
+            _update(hasher, item, memo)
+    elif isinstance(value, dict):
+        try:
+            items = sorted(value.items())
+        except TypeError as error:
+            raise UncacheableError(
+                f"dict with unsortable keys: {error}") from None
+        hasher.update(b"\x00M" + str(len(items)).encode())
+        for key, item in items:
+            _update(hasher, key, memo)
+            _update(hasher, item, memo)
+    elif isinstance(value, (types.ModuleType, types.FunctionType,
+                            types.BuiltinFunctionType, types.MethodType,
+                            types.LambdaType, type)):
+        raise UncacheableError(f"cannot fingerprint {value!r}")
+    else:
+        ordinal = memo.get(id(value))
+        if ordinal is not None:
+            hasher.update(b"\x00R" + str(ordinal).encode())
+            return
+        memo[id(value)] = len(memo)
+        cls = type(value)
+        hasher.update(b"\x00O" + cls.__module__.encode() + b"."
+                      + cls.__qualname__.encode())
+        attrs: dict[str, object] = {}
+        for klass in cls.__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot not in attrs and hasattr(value, slot):
+                    attrs[slot] = getattr(value, slot)
+        attrs.update(getattr(value, "__dict__", {}))
+        for name in sorted(attrs):
+            _update(hasher, name, memo)
+            _update(hasher, attrs[name], memo)
+
+
+def result_key(predictor, trace: Trace, provider, warmup_branches: int,
+               engine_name: str) -> str:
+    """The content-addressed cache key for one simulation's inputs.
+
+    Raises :class:`UncacheableError` when any input resists deterministic
+    fingerprinting; callers should then skip the cache for that run.
+    """
+    hasher = hashlib.sha256()
+    memo: dict[int, int] = {}
+    hasher.update(b"repro-result-v1")
+    _update(hasher, predictor, memo)
+    hasher.update(b"\x00trace")
+    hasher.update(_trace_content_digest(trace))
+    _update(hasher, provider, memo)
+    _update(hasher, int(warmup_branches), memo)
+    _update(hasher, engine_name, memo)
+    return hasher.hexdigest()
+
+
+# -- storage -----------------------------------------------------------------
+
+
+def load(key: str) -> SimulationResult | None:
+    """The cached result for ``key`` (with ``cache="hit"``), or ``None``.
+
+    Unreadable or structurally invalid entries count as misses.
+    """
+    path = cache_dir() / f"{key}.json"
+    try:
+        payload = json.loads(path.read_text())
+        return SimulationResult(
+            predictor_name=payload["predictor_name"],
+            trace_name=payload["trace_name"],
+            branches=int(payload["branches"]),
+            mispredictions=int(payload["mispredictions"]),
+            instructions=int(payload["instructions"]),
+            wall_seconds=float(payload["wall_seconds"]),
+            engine=payload["engine"],
+            cache="hit",
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def store(key: str, result: SimulationResult) -> None:
+    """Persist one result atomically (write-to-temp, then rename)."""
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = dataclasses.asdict(result)
+    payload.pop("cache", None)  # provenance is per-invocation, not stored
+    path = directory / f"{key}.json"
+    temporary = directory / f".{key}.{os.getpid()}.tmp"
+    temporary.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(temporary, path)

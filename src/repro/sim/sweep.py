@@ -40,13 +40,14 @@ def _evaluate_point(make_predictor: Callable[[int], Predictor],
                     value: int,
                     traces: dict[str, Trace],
                     make_provider: Callable[[], HistoryProvider] | None,
-                    engine: str | SimulationEngine | None) -> SweepPoint:
+                    engine: str | SimulationEngine | None,
+                    use_cache: bool | None = None) -> SweepPoint:
     """Evaluate one sweep point (module-level so process pools can run it)."""
     per_benchmark = {}
     for name, trace in traces.items():
         provider = make_provider() if make_provider is not None else None
         result = simulate(make_predictor(value), trace, provider,
-                          engine=engine)
+                          engine=engine, use_cache=use_cache)
         per_benchmark[name] = result.misp_per_ki
     mean = sum(per_benchmark.values()) / len(per_benchmark)
     return SweepPoint(value=value, mean_misp_per_ki=mean,
@@ -58,10 +59,11 @@ def sweep(make_predictor: Callable[[int], Predictor],
           traces: dict[str, Trace],
           make_provider: Callable[[], HistoryProvider] | None = None,
           engine: str | SimulationEngine | None = None,
+          use_cache: bool | None = None,
           ) -> list[SweepPoint]:
     """Evaluate ``make_predictor(value)`` for every value, on every trace."""
     return [_evaluate_point(make_predictor, value, traces, make_provider,
-                            engine)
+                            engine, use_cache)
             for value in values]
 
 
@@ -71,6 +73,7 @@ def sweep_parallel(make_predictor: Callable[[int], Predictor],
                    make_provider: Callable[[], HistoryProvider] | None = None,
                    engine: str | None = None,
                    max_workers: int | None = None,
+                   use_cache: bool | None = None,
                    ) -> list[SweepPoint]:
     """:func:`sweep` with points fanned out over a process pool.
 
@@ -85,18 +88,20 @@ def sweep_parallel(make_predictor: Callable[[int], Predictor],
     """
     values = list(values)
     if max_workers is not None and max_workers <= 1:
-        return sweep(make_predictor, values, traces, make_provider, engine)
+        return sweep(make_predictor, values, traces, make_provider, engine,
+                     use_cache)
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = [pool.submit(_evaluate_point, make_predictor, value,
-                                   traces, make_provider, engine)
+                                   traces, make_provider, engine, use_cache)
                        for value in values]
             return [future.result() for future in futures]
     except Exception as error:  # unpicklable factory, broken pool, ...
         warnings.warn(
             f"sweep_parallel falling back to serial sweep: {error!r}",
             RuntimeWarning, stacklevel=2)
-        return sweep(make_predictor, values, traces, make_provider, engine)
+        return sweep(make_predictor, values, traces, make_provider, engine,
+                     use_cache)
 
 
 def best_history_length(make_predictor: Callable[[int], Predictor],
@@ -104,10 +109,12 @@ def best_history_length(make_predictor: Callable[[int], Predictor],
                         traces: dict[str, Trace],
                         make_provider: Callable[[], HistoryProvider] | None = None,
                         engine: str | SimulationEngine | None = None,
+                        use_cache: bool | None = None,
                         ) -> SweepPoint:
     """The history length minimising mean misp/KI across the benchmark set
     (the paper's per-configuration "best history length")."""
-    points = sweep(make_predictor, lengths, traces, make_provider, engine)
+    points = sweep(make_predictor, lengths, traces, make_provider, engine,
+                   use_cache)
     if not points:
         raise ValueError("no history lengths supplied")
     return min(points, key=lambda point: point.mean_misp_per_ki)

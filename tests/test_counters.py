@@ -1,6 +1,7 @@
 """Tests for the split prediction/hysteresis counter arrays (Sections
 4.3-4.4 of the paper)."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -154,3 +155,164 @@ class TestIndexWrapping:
         array.set_counter(3, 3)
         assert array.predict(3 + 8) is True
         assert array.counter_value(3 + 16) == 3
+
+
+def _scalar_replay(size, hysteresis_size, indices, takens):
+    """Reference: predict-then-update one access at a time."""
+    array = SplitCounterArray(size, hysteresis_size)
+    predictions = []
+    for index, taken in zip(indices, takens):
+        predictions.append(array.predict(int(index)))
+        array.update(int(index), bool(taken))
+    return array, predictions
+
+
+def _random_stream(size, length, seed=0):
+    rng = np.random.default_rng(seed)
+    # Skewed indices so hysteresis groups see real collision runs.
+    indices = (rng.integers(0, size, size=length)
+               & rng.integers(0, size, size=length))
+    takens = rng.random(length) < 0.7
+    return indices.astype(np.int64), takens
+
+
+class TestBatchAccess:
+    """``batch_access`` must replay a whole stream bit-identically to the
+    scalar predict/update walk — including shared/half-size hysteresis,
+    where the scan runs over the joint group state (Section 4.4)."""
+
+    @pytest.mark.parametrize("size,hysteresis_size",
+                             [(64, 64), (64, 32), (64, 16), (128, 32),
+                              (16, 4), (8, 2)])
+    def test_matches_scalar_replay(self, size, hysteresis_size):
+        indices, takens = _random_stream(size, 3000, seed=size)
+        reference, expected = _scalar_replay(size, hysteresis_size,
+                                             indices, takens)
+        array = SplitCounterArray(size, hysteresis_size)
+        predictions = array.batch_access(indices, takens)
+        assert predictions.tolist() == expected
+        assert array._prediction == reference._prediction
+        assert array._hysteresis == reference._hysteresis
+
+    def test_chunking_does_not_change_results(self):
+        indices, takens = _random_stream(64, 2000, seed=7)
+        whole = SplitCounterArray(64, 16)
+        chunked = SplitCounterArray(64, 16)
+        whole_predictions = whole.batch_access(indices, takens)
+        chunked_predictions = chunked.batch_access(indices, takens, chunk=13)
+        assert (whole_predictions == chunked_predictions).all()
+        assert whole._prediction == chunked._prediction
+        assert whole._hysteresis == chunked._hysteresis
+
+    def test_partner_interference_through_shared_bit(self):
+        """The Section 4.4 aliasing scenario, replayed in one batch: hammering
+        entry A must leak strength into partner B exactly as it does
+        scalar-wise."""
+        size, hysteresis_size = 8, 4
+        a_index, b_index = 0, 4  # sharing partners
+        indices = np.array([a_index] * 5 + [b_index, a_index, b_index] * 10,
+                           dtype=np.int64)
+        takens = np.array([True] * 5 + [False, True, False] * 10)
+        reference, expected = _scalar_replay(size, hysteresis_size,
+                                             indices, takens)
+        array = SplitCounterArray(size, hysteresis_size)
+        predictions = array.batch_access(indices, takens)
+        assert predictions.tolist() == expected
+        assert array._prediction == reference._prediction
+        assert array._hysteresis == reference._hysteresis
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.booleans()),
+                    max_size=60))
+    def test_matches_scalar_replay_hypothesis(self, accesses):
+        indices = np.array([index for index, _ in accesses], dtype=np.int64)
+        takens = np.array([taken for _, taken in accesses], dtype=np.bool_)
+        reference, expected = _scalar_replay(16, 4, indices, takens)
+        array = SplitCounterArray(16, 4)
+        predictions = array.batch_access(indices, takens)
+        assert predictions.tolist() == expected
+        assert array._prediction == reference._prediction
+        assert array._hysteresis == reference._hysteresis
+
+    def test_extreme_sharing_ratio_outside_envelope(self):
+        array = SplitCounterArray(256, 8)  # ratio 32
+        assert not array.batch_supported
+        with pytest.raises(ValueError, match="sharing ratio"):
+            array.batch_access(np.zeros(4, dtype=np.int64),
+                               np.zeros(4, dtype=np.bool_))
+
+    def test_ev8_ratio_two_is_supported(self):
+        # The paper's G0/Meta configuration: half-size hysteresis.
+        assert SplitCounterArray(1 << 16, 1 << 15).batch_supported
+
+
+class TestTrainManyUnique:
+    """Vectorized strengthen/update over group-distinct index sets must match
+    the scalar operations."""
+
+    def test_update_matches_scalar(self):
+        indices = np.array([1, 3, 6, 12], dtype=np.int64)  # distinct groups
+        takens = np.array([True, False, True, False])
+        reference = SplitCounterArray(16, 8)
+        for value, index in enumerate(indices):
+            reference.set_counter(int(index), value % 4)
+        array = SplitCounterArray(16, 8)
+        for value, index in enumerate(indices):
+            array.set_counter(int(index), value % 4)
+        for index, taken in zip(indices, takens):
+            reference.update(int(index), bool(taken))
+        array.train_many_unique(indices, takens,
+                                update=np.ones(4, dtype=np.bool_))
+        assert array._prediction == reference._prediction
+        assert array._hysteresis == reference._hysteresis
+
+    def test_strengthen_matches_scalar_including_disagreement(self):
+        indices = np.array([0, 1, 2, 3], dtype=np.int64)
+        takens = np.array([True, True, False, False])
+        reference = SplitCounterArray(4)
+        array = SplitCounterArray(4)
+        for counters in (reference, array):
+            counters.set_counter(0, 2)  # agrees with taken -> saturates
+            counters.set_counter(1, 0)  # disagrees -> degenerates to a step
+            counters.set_counter(2, 1)  # agrees with not-taken
+            counters.set_counter(3, 3)  # disagrees -> weakened
+        for index, taken in zip(indices, takens):
+            reference.strengthen(int(index), bool(taken))
+        array.train_many_unique(indices, takens,
+                                strengthen=np.ones(4, dtype=np.bool_))
+        assert array._prediction == reference._prediction
+        assert array._hysteresis == reference._hysteresis
+
+    def test_masks_select_disjoint_operations(self):
+        indices = np.array([0, 1, 2], dtype=np.int64)
+        takens = np.array([True, True, True])
+        strengthen = np.array([True, False, False])
+        update = np.array([False, True, False])
+        reference = SplitCounterArray(8)
+        array = SplitCounterArray(8)
+        reference.strengthen(0, True)
+        reference.update(1, True)
+        array.train_many_unique(indices, takens, strengthen=strengthen,
+                                update=update)
+        # Position 2 selected by neither mask: untouched.
+        assert array._prediction == reference._prediction
+        assert array._hysteresis == reference._hysteresis
+
+    def test_no_masks_is_a_no_op(self):
+        array = SplitCounterArray(8)
+        before = bytes(array._prediction)
+        array.train_many_unique(np.array([1], dtype=np.int64),
+                                np.array([True]))
+        assert bytes(array._prediction) == before
+
+    def test_gather_helpers_match_scalar_reads(self):
+        array = SplitCounterArray(16, 8)
+        rng = np.random.default_rng(3)
+        for index in range(16):
+            array.set_counter(index, int(rng.integers(0, 4)))
+        indices = rng.integers(0, 64, size=40).astype(np.int64)
+        assert array.predict_many(indices).tolist() == \
+            [array.predict(int(i)) for i in indices]
+        packed = array.packed_many(indices)
+        expected = [(int(array.predict(int(i))) << 1)
+                    | int(array.hysteresis(int(i))) for i in indices]
+        assert packed.tolist() == expected

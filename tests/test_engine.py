@@ -110,19 +110,65 @@ def test_batched_falls_back_for_non_batch_capable(gcc_trace):
     assert result.mispredictions == reference.mispredictions
 
 
-def test_batched_falls_back_for_shared_hysteresis(gcc_trace):
-    predictor = BimodalPredictor(1 << 12, hysteresis_entries=1 << 10)
-    assert not predictor.batch_supported()
-    result = BatchedEngine().run(predictor, gcc_trace)
-    assert result.engine == "scalar"
+def test_batched_handles_shared_hysteresis(gcc_trace):
+    """Half-size hysteresis is inside the batched envelope: the grouped
+    segmented replay must match the scalar walk bit for bit."""
+    factory = lambda: BimodalPredictor(1 << 12, hysteresis_entries=1 << 10)  # noqa: E731
+    assert factory().batch_supported()
+    scalar, batched = _both_engines(factory, gcc_trace)
+    assert batched.engine == "batched"
+    assert (batched.mispredictions, batched.branches) == \
+        (scalar.mispredictions, scalar.branches)
+
+
+def test_ev8_table1_batched_strict_bit_identical(gcc_trace):
+    """The full EV8 Table 1 configuration — lghist/path provider, EV8 index
+    functions, shared G0/Meta hysteresis, partial update — runs entirely
+    inside the batched envelope, bit-identical to the scalar walk."""
+    from repro.ev8.predictor import EV8BranchPredictor
+
+    scalar_pred = EV8BranchPredictor()
+    batched_pred = EV8BranchPredictor()
+    scalar = ScalarEngine().run(scalar_pred, gcc_trace,
+                                provider=EV8BranchPredictor.make_provider())
+    batched = BatchedEngine(strict=True).run(
+        batched_pred, gcc_trace, provider=EV8BranchPredictor.make_provider())
+    assert batched.engine == "batched"
+    assert (batched.mispredictions, batched.branches) == \
+        (scalar.mispredictions, scalar.branches)
+    # Equivalence extends to the final state of all four tables (G0 and
+    # Meta exercise the shared-hysteresis group scan).
+    for table in ("bim", "g0", "g1", "meta"):
+        scalar_table = getattr(scalar_pred, table)
+        batched_table = getattr(batched_pred, table)
+        assert scalar_table._prediction == batched_table._prediction, table
+        assert scalar_table._hysteresis == batched_table._hysteresis, table
+
+
+def test_ev8_batched_strict_bit_identical_with_warmup(compress_trace):
+    from repro.ev8.predictor import EV8BranchPredictor
+
+    for warmup in (1, 777, 5000):
+        scalar = ScalarEngine().run(
+            EV8BranchPredictor(), compress_trace,
+            provider=EV8BranchPredictor.make_provider(),
+            warmup_branches=warmup)
+        batched = BatchedEngine(strict=True).run(
+            EV8BranchPredictor(), compress_trace,
+            provider=EV8BranchPredictor.make_provider(),
+            warmup_branches=warmup)
+        assert (batched.mispredictions, batched.branches) == \
+            (scalar.mispredictions, scalar.branches), warmup
 
 
 def test_batched_falls_back_for_unmaterializable_provider(gcc_trace):
+    # Histories beyond 64 bits cannot be packed into a uint64 column, so
+    # materialize returns None and the engine replays scalar.
     result = BatchedEngine().run(GsharePredictor(1 << 12, 12), gcc_trace,
-                                 provider=BlockLghistProvider())
+                                 provider=BlockLghistProvider(capacity=80))
     assert result.engine == "scalar"
     reference = ScalarEngine().run(GsharePredictor(1 << 12, 12), gcc_trace,
-                                   provider=BlockLghistProvider())
+                                   provider=BlockLghistProvider(capacity=80))
     assert result.mispredictions == reference.mispredictions
 
 
@@ -133,7 +179,8 @@ def test_batched_strict_raises_instead_of_falling_back(gcc_trace):
     with pytest.raises(ValueError, match="materialize"):
         BatchedEngine(strict=True).run(GsharePredictor(1 << 12, 12),
                                        gcc_trace,
-                                       provider=BlockLghistProvider())
+                                       provider=BlockLghistProvider(
+                                           capacity=80))
 
 
 def test_materialized_batch_matches_scalar_provider_walk(gcc_trace):

@@ -1,11 +1,14 @@
 """Tests for information-vector providers (the Fig 7 axis)."""
 
+import pytest
+
+from conftest import simple_loop_trace
 from repro.history.providers import (
     BlockLghistProvider,
     BranchGhistProvider,
     ev8_info_provider,
 )
-from repro.traces.fetch import FetchBlock
+from repro.traces.fetch import FetchBlock, fetch_blocks_for
 
 
 def make_block(start, branch_pcs, branch_outcomes, ended_taken=True):
@@ -123,3 +126,82 @@ class TestBlockLghistProvider:
         assert provider._lghist.delay_blocks == 3
         assert provider._lghist.include_path is True
         assert provider._path.depth == 3
+
+
+def _scalar_vector_walk(provider, trace):
+    """Reference: the per-block begin/end walk the scalar engine performs."""
+    vectors = []
+    for block in fetch_blocks_for(trace):
+        vectors.extend(provider.begin_block(block))
+        provider.end_block(block)
+    return vectors
+
+
+class TestLghistMaterialize:
+    """``BlockLghistProvider.materialize`` must reproduce the scalar
+    begin_block/end_block walk bit for bit — histories, path columns and
+    front-end bank numbers — for every lghist variant Fig 7 sweeps."""
+
+    # (include_path, delay_blocks, capacity, path_depth): the EV8 vector,
+    # the un-aged and outcome-only variants, short capacities that force
+    # window wraparound, and non-default path depths.
+    VARIANTS = [
+        (True, 3, 64, 3),    # the EV8 information vector
+        (True, 0, 64, 3),
+        (False, 0, 64, 3),
+        (False, 3, 64, 3),
+        (True, 1, 16, 2),
+        (False, 2, 8, 1),
+        (True, 5, 32, 4),
+    ]
+
+    @staticmethod
+    def _assert_batch_matches_walk(provider_factory, trace):
+        batch = provider_factory().materialize(trace)
+        assert batch is not None
+        vectors = _scalar_vector_walk(provider_factory(), trace)
+        assert len(batch) == len(vectors)
+        for i, vector in enumerate(vectors):
+            assert int(batch.history[i]) == vector.history, i
+            assert int(batch.address[i]) == vector.address, i
+            assert int(batch.branch_pc[i]) == vector.branch_pc, i
+            assert tuple(int(batch.path[d, i])
+                         for d in range(batch.path_depth)) == vector.path, i
+            assert int(batch.bank[i]) == vector.bank, i
+
+    @pytest.mark.parametrize("include_path,delay,capacity,depth", VARIANTS)
+    def test_bit_identical_to_scalar_walk_on_gcc(self, include_path, delay,
+                                                 capacity, depth, gcc_trace):
+        self._assert_batch_matches_walk(
+            lambda: BlockLghistProvider(include_path=include_path,
+                                        delay_blocks=delay,
+                                        capacity=capacity,
+                                        path_depth=depth),
+            gcc_trace)
+
+    @pytest.mark.parametrize("pattern", [None, (True, False),
+                                         (True, True, False)])
+    def test_bit_identical_on_loop_patterns(self, pattern):
+        # Single-block loops exercise the block-boundary bookkeeping: every
+        # block inserts a bit and the delay pipeline stays saturated.
+        trace = simple_loop_trace(300, taken_pattern=pattern)
+        self._assert_batch_matches_walk(ev8_info_provider, trace)
+
+    def test_over_capacity_histories_do_not_materialize(self, gcc_trace):
+        assert BlockLghistProvider(capacity=80).materialize(gcc_trace) is None
+
+    def test_materialized_batch_is_cached_per_trace(self, gcc_trace):
+        # Two provider instances with the same configuration share the
+        # per-trace batch; a different configuration gets its own.
+        first = ev8_info_provider().materialize(gcc_trace)
+        second = ev8_info_provider().materialize(gcc_trace)
+        assert first is second
+        other = BlockLghistProvider(include_path=False).materialize(gcc_trace)
+        assert other is not first
+
+    def test_materialized_columns_are_read_only(self, gcc_trace):
+        batch = ev8_info_provider().materialize(gcc_trace)
+        with pytest.raises(ValueError):
+            batch.history[0] = 0
+        with pytest.raises(ValueError):
+            batch.bank[0] = 0

@@ -1,0 +1,181 @@
+"""Persistent simulation-result cache: keying, storage, and driver plumbing."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from conftest import simple_loop_trace
+from repro.history.providers import BlockLghistProvider, BranchGhistProvider
+from repro.predictors import GsharePredictor
+from repro.sim import result_cache
+from repro.sim.driver import simulate
+from repro.sim.metrics import SimulationResult
+from repro.sim.result_cache import (
+    CACHE_DIR_ENV_VAR,
+    CACHE_ENV_VAR,
+    UncacheableError,
+    cache_dir,
+    cache_enabled,
+    load,
+    result_key,
+    store,
+)
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    """Enable the cache in an isolated directory."""
+    monkeypatch.setenv(CACHE_ENV_VAR, "1")
+    monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
+@pytest.fixture
+def trace():
+    return simple_loop_trace(400, taken_pattern=(True, True, False))
+
+
+def _gshare():
+    return GsharePredictor(1 << 10, 10)
+
+
+class TestEnvironment:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert not cache_enabled()
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("YES", True), (" on ", True),
+        ("0", False), ("off", False), ("", False),
+    ])
+    def test_truthy_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv(CACHE_ENV_VAR, value)
+        assert cache_enabled() is expected
+
+    def test_cache_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "x"))
+        assert cache_dir() == tmp_path / "x"
+
+
+class TestResultKey:
+    def test_deterministic_across_fresh_instances(self, trace):
+        first = result_key(_gshare(), trace, BranchGhistProvider(), 0,
+                           "batched")
+        second = result_key(_gshare(), trace, BranchGhistProvider(), 0,
+                            "batched")
+        assert first == second
+
+    def test_discriminates_every_input(self, trace):
+        base = result_key(_gshare(), trace, None, 0, "batched")
+        assert result_key(GsharePredictor(1 << 10, 12), trace, None, 0,
+                          "batched") != base
+        assert result_key(_gshare(), trace, BranchGhistProvider(), 0,
+                          "batched") != base
+        assert result_key(_gshare(), trace, None, 100, "batched") != base
+        assert result_key(_gshare(), trace, None, 0, "scalar") != base
+        other_trace = simple_loop_trace(400)  # different outcome pattern
+        assert result_key(_gshare(), other_trace, None, 0, "batched") != base
+
+    def test_discriminates_provider_configuration(self, trace):
+        aged = result_key(_gshare(), trace,
+                          BlockLghistProvider(delay_blocks=3), 0, "scalar")
+        fresh = result_key(_gshare(), trace,
+                           BlockLghistProvider(delay_blocks=0), 0, "scalar")
+        assert aged != fresh
+
+    def test_trace_name_excluded_from_key(self):
+        # Identical content under different names is the same simulation.
+        first = simple_loop_trace(200, name="a")
+        second = simple_loop_trace(200, name="b")
+        assert result_key(_gshare(), first, None, 0, "scalar") == \
+            result_key(_gshare(), second, None, 0, "scalar")
+
+    def test_uncacheable_inputs_raise(self, trace):
+        predictor = _gshare()
+        predictor.hook = lambda: None  # a callable attribute
+        with pytest.raises(UncacheableError):
+            result_key(predictor, trace, None, 0, "scalar")
+
+
+class TestStorage:
+    RESULT = SimulationResult(predictor_name="gshare", trace_name="loop",
+                              branches=400, mispredictions=37,
+                              instructions=1600, wall_seconds=0.25,
+                              engine="batched", cache="miss")
+
+    def test_round_trip_marks_hit(self, cache_env):
+        store("deadbeef", self.RESULT)
+        loaded = load("deadbeef")
+        assert loaded is not None
+        assert loaded.cache == "hit"
+        assert dataclasses.replace(loaded, cache="miss") == self.RESULT
+
+    def test_stored_payload_omits_cache_provenance(self, cache_env):
+        store("deadbeef", self.RESULT)
+        payload = json.loads((cache_env / "deadbeef.json").read_text())
+        assert "cache" not in payload
+        assert payload["mispredictions"] == 37
+
+    def test_missing_entry_is_none(self, cache_env):
+        assert load("0" * 64) is None
+
+    def test_corrupt_entry_is_a_miss(self, cache_env):
+        cache_env.mkdir(parents=True, exist_ok=True)
+        (cache_env / "bad.json").write_text("{not json")
+        (cache_env / "partial.json").write_text('{"branches": 3}')
+        assert load("bad") is None
+        assert load("partial") is None
+
+
+class TestDriverPlumbing:
+    def test_cache_off_by_default(self, trace, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "cache"))
+        result = simulate(_gshare(), trace)
+        assert result.cache == "off"
+        assert not (tmp_path / "cache").exists()
+
+    def test_miss_then_hit(self, cache_env, trace):
+        first = simulate(_gshare(), trace, engine="batched")
+        assert first.cache == "miss"
+        assert list(cache_env.glob("*.json"))
+        second = simulate(_gshare(), trace, engine="batched")
+        assert second.cache == "hit"
+        assert second.mispredictions == first.mispredictions
+        assert second.branches == first.branches
+        assert second.engine == first.engine
+
+    def test_explicit_use_cache_overrides_environment(self, cache_env,
+                                                      trace, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        first = simulate(_gshare(), trace, use_cache=True)
+        second = simulate(_gshare(), trace, use_cache=True)
+        assert (first.cache, second.cache) == ("miss", "hit")
+        third = simulate(_gshare(), trace, use_cache=False)
+        assert third.cache == "off"
+
+    def test_engines_key_separately(self, cache_env, trace):
+        batched = simulate(_gshare(), trace, engine="batched")
+        scalar = simulate(_gshare(), trace, engine="scalar")
+        assert (batched.cache, scalar.cache) == ("miss", "miss")
+        assert scalar.mispredictions == batched.mispredictions
+
+    def test_uncacheable_predictor_runs_uncached(self, cache_env, trace):
+        predictor = _gshare()
+        predictor.hook = lambda: None
+        result = simulate(predictor, trace)
+        assert result.cache == "off"
+        assert result.branches == 400
+
+    def test_hit_matches_fresh_simulation(self, cache_env, trace):
+        simulate(_gshare(), trace, engine="batched", warmup_branches=50)
+        hit = simulate(_gshare(), trace, engine="batched",
+                       warmup_branches=50)
+        fresh = simulate(_gshare(), trace, engine="batched",
+                         warmup_branches=50, use_cache=False)
+        assert hit.cache == "hit"
+        assert hit.mispredictions == fresh.mispredictions
+        assert hit.branches == fresh.branches
