@@ -13,6 +13,8 @@ Public API layers:
 * :mod:`repro.history` — ghist/lghist/path registers and information-vector
   providers;
 * :mod:`repro.sim` — trace-driven simulation, metrics, comparisons, sweeps;
+* :mod:`repro.obs` — opt-in telemetry (per-bank traffic counters,
+  histograms, wall-clock spans) threaded through the simulation stack;
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::
@@ -25,6 +27,7 @@ Quickstart::
 """
 
 from repro.ev8 import EV8_CONFIG, EV8BranchPredictor, EV8Config
+from repro.obs import NullTelemetry, Telemetry, use_telemetry
 from repro.history import (
     BlockLghistProvider,
     BranchGhistProvider,
@@ -66,6 +69,7 @@ __all__ = [
     "EGskewPredictor", "GAsPredictor", "GsharePredictor", "LocalPredictor",
     "PerceptronPredictor", "Predictor", "TableConfig",
     "TournamentPredictor", "TwoBcGskewPredictor", "YagsPredictor",
+    "NullTelemetry", "Telemetry", "use_telemetry",
     "SimulationResult", "simulate",
     "Trace", "TraceBuilder", "build_fetch_blocks",
     "SPEC95_BENCHMARKS", "WorkloadProfile", "generate_trace",

@@ -44,12 +44,20 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("benchmark", choices=SPEC95_BENCHMARKS)
     simulate.add_argument("--branches", type=int, default=100_000,
                           help="trace length in conditional branches")
+    simulate.add_argument("--telemetry", default=None, metavar="FILE",
+                          help="record telemetry; write it to FILE "
+                               "(.csv for CSV, else JSON) and print the "
+                               "summary table")
 
     for name in _EXPERIMENTS:
         experiment = sub.add_parser(
             name, help=f"run the paper's {name} experiment")
         experiment.add_argument("--branches", type=int, default=None,
                                 help="trace length per benchmark")
+        experiment.add_argument("--telemetry", default=None, metavar="FILE",
+                                help="record telemetry across the "
+                                     "experiment; write it to FILE (.csv "
+                                     "for CSV, else JSON)")
 
     sweep = sub.add_parser("sweep", help="gshare history-length sweep")
     sweep.add_argument("benchmark", choices=SPEC95_BENCHMARKS)
@@ -106,20 +114,36 @@ def _command_info() -> int:
 
 def _command_simulate(args) -> int:
     from repro import EV8BranchPredictor, simulate, spec95_trace
+    from repro.obs import Telemetry, render_summary
     from repro.history.providers import BranchGhistProvider
     predictor = _make_predictor(args.predictor)
     trace = spec95_trace(args.benchmark, args.branches)
     provider = (EV8BranchPredictor.make_provider()
                 if args.predictor == "ev8" else BranchGhistProvider())
-    result = simulate(predictor, trace, provider)
+    sink = Telemetry() if args.telemetry else None
+    result = simulate(predictor, trace, provider, telemetry=sink)
     print(result)
     print(f"storage: {predictor.storage_kbits:.1f} Kbits")
+    if sink is not None:
+        sink.write(args.telemetry)
+        print(f"\nwrote telemetry to {args.telemetry}")
+        print(render_summary(sink.snapshot()))
     return 0
 
 
 def _command_experiment(name: str, args) -> int:
     import importlib
     module = importlib.import_module(f"repro.experiments.{name}")
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        from repro.obs import Telemetry, render_summary, use_telemetry
+        sink = Telemetry()
+        with use_telemetry(sink):
+            print(module.render(module.run(args.branches)))
+        sink.write(telemetry_path)
+        print(f"\nwrote telemetry to {telemetry_path}")
+        print(render_summary(sink.snapshot()))
+        return 0
     print(module.render(module.run(args.branches)))
     return 0
 

@@ -49,6 +49,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import NULL_TELEMETRY, NullTelemetry
+
 __all__ = ["SplitCounterArray"]
 
 # Saturating-counter transition tables over the packed state
@@ -121,7 +123,8 @@ class SplitCounterArray:
         entries weakly not-taken (Section 8.1.1), which is the default.
     """
 
-    __slots__ = ("size", "hysteresis_size", "_prediction", "_hysteresis")
+    __slots__ = ("size", "hysteresis_size", "_prediction", "_hysteresis",
+                 "_telemetry", "_tele_names")
 
     def __init__(self, size: int, hysteresis_size: int | None = None, *,
                  init_taken: bool = False) -> None:
@@ -141,6 +144,59 @@ class SplitCounterArray:
         self._prediction = bytearray([initial] * size)
         # Weak initial state: hysteresis 0 regardless of direction.
         self._hysteresis = bytearray(hysteresis_size)
+        self._telemetry: NullTelemetry = NULL_TELEMETRY
+        self._tele_names: tuple[str, str, str, str] | None = None
+
+    # -- telemetry ---------------------------------------------------------
+
+    def attach_telemetry(self, sink: NullTelemetry,
+                         label: str = "counters") -> None:
+        """Route this array's traffic counters into ``sink`` under
+        ``bank.<label>.*`` names.
+
+        Recorded (all engine-consistent **logical** port traffic — the
+        scalar walk and the batched replays count identically):
+
+        * ``bank.<label>.reads`` — fetch-time prediction-array reads (one
+          per prediction; update-time state inspection is not a port read,
+          see :meth:`peek`);
+        * ``bank.<label>.prediction_writes`` — direction-bit write
+          operations (saturating-counter direction flips);
+        * ``bank.<label>.hysteresis_writes`` — strength-bit write
+          operations *issued* (an agreeing outcome asserts the bit, a
+          strongly-disagreeing outcome clears it — counted whether or not
+          the stored bit changes, because the array write port is occupied
+          either way).  This is the traffic partial update exists to
+          suppress (Section 4.2): a suppressed update issues no write at
+          all, which is exactly what these counters make visible;
+        * ``bank.<label>.sharing_conflicts`` — hysteresis writes issued
+          while the entry's sharing group held *disagreeing* direction bits
+          (the Section 4.4 hazard: one strength bit serving counters that
+          currently point opposite ways).
+
+        Every counter update op issues exactly one write — the write target
+        is a pure function of the pre-write (direction, strength, outcome),
+        which is what lets the vectorized replays account identically to
+        the scalar walk.
+        """
+        self._telemetry = sink
+        prefix = f"bank.{label}"
+        self._tele_names = (f"{prefix}.reads",
+                            f"{prefix}.prediction_writes",
+                            f"{prefix}.hysteresis_writes",
+                            f"{prefix}.sharing_conflicts")
+
+    def _count_hysteresis_write(self, h_index: int) -> None:
+        """Account one strength-bit write (telemetry-enabled path only)."""
+        names = self._tele_names
+        self._telemetry.count(names[2])
+        ratio = self.size // self.hysteresis_size
+        if ratio > 1:
+            first = self._prediction[h_index]
+            for k in range(1, ratio):
+                if self._prediction[h_index + k * self.hysteresis_size] != first:
+                    self._telemetry.count(names[3])
+                    break
 
     # -- index plumbing ----------------------------------------------------
 
@@ -165,7 +221,20 @@ class SplitCounterArray:
     def predict(self, index: int) -> bool:
         """Return the direction bit (True = predict taken).
 
-        This is the only read needed at fetch time.
+        This is the only read needed at fetch time; it is the operation the
+        ``bank.<label>.reads`` telemetry counter counts.
+        """
+        if self._telemetry.enabled:
+            self._telemetry.count(self._tele_names[0])
+        return bool(self._prediction[index & (self.size - 1)])
+
+    def peek(self, index: int) -> bool:
+        """The direction bit *without* telemetry accounting.
+
+        Update-time logic (e.g. the 2Bc-gskew chooser recomputing the
+        overall prediction after training Meta) inspects state the hardware
+        already holds in flight — it is not a fetch-port read, so it must
+        not inflate ``bank.<label>.reads``.
         """
         return bool(self._prediction[index & (self.size - 1)])
 
@@ -197,7 +266,10 @@ class SplitCounterArray:
         """
         index &= self.size - 1
         if bool(self._prediction[index]) == taken:
-            self._hysteresis[self._hysteresis_index(index)] = 1
+            h_index = self._hysteresis_index(index)
+            if self._telemetry.enabled:
+                self._count_hysteresis_write(h_index)
+            self._hysteresis[h_index] = 1
         else:
             # Direction disagrees (possible when the caller strengthens a
             # majority vote that this particular bank did not contribute
@@ -213,11 +285,19 @@ class SplitCounterArray:
         direction = self._prediction[index]
         strength = self._hysteresis[h_index]
         if bool(direction) == taken:
+            # The write (assert the strength bit) is issued whether or not
+            # the bit was already set; count it unconditionally.
+            if self._telemetry.enabled:
+                self._count_hysteresis_write(h_index)
             if not strength:
                 self._hysteresis[h_index] = 1
         elif strength:
+            if self._telemetry.enabled:
+                self._count_hysteresis_write(h_index)
             self._hysteresis[h_index] = 0
         else:
+            if self._telemetry.enabled:
+                self._telemetry.count(self._tele_names[1])
             self._prediction[index] = 1 if taken else 0
             # Stay weak after a direction flip (00 <-> 10 transition).
 
@@ -262,6 +342,8 @@ class SplitCounterArray:
                 f"index/outcome streams have mismatched shapes: "
                 f"{indices.shape} vs {takens.shape}")
         indices = indices & (self.size - 1)
+        if self._telemetry.enabled and len(indices):
+            self._telemetry.count(self._tele_names[0], len(indices))
         predictions = np.empty(len(indices), dtype=np.bool_)
         for lo in range(0, len(indices), max(chunk, 1)):
             hi = lo + max(chunk, 1)
@@ -287,7 +369,8 @@ class SplitCounterArray:
         # equal group indices; the sort makes segment membership a plain
         # equality test at any doubling distance).
         table = _group_step_table(ratio)
-        variant = 2 * sorted_partner + takens[order]
+        sorted_taken = takens[order]
+        variant = 2 * sorted_partner + sorted_taken
         prefix = table[variant]
         shift = 1
         while shift < n:
@@ -319,6 +402,28 @@ class SplitCounterArray:
             interior = ~first[1:]
             state_before[1:][interior] = carried[interior]
 
+        if self._telemetry.enabled:
+            # Logical write accounting, identical to the scalar
+            # ``_step_towards`` arms: with the pre-access state in hand,
+            # which array each access writes is a pure function of
+            # (direction, strength, outcome).
+            own_direction = ((state_before >> 1) >> sorted_partner) & 1
+            strength = state_before & 1
+            agree = own_direction == sorted_taken
+            hysteresis_write = agree | (strength == 1)
+            flips = int(np.count_nonzero(~agree & (strength == 0)))
+            if flips:
+                self._telemetry.count(self._tele_names[1], flips)
+            hyst_writes = int(np.count_nonzero(hysteresis_write))
+            if hyst_writes:
+                self._telemetry.count(self._tele_names[2], hyst_writes)
+            if ratio > 1:
+                directions = state_before >> 1
+                uniform = (directions == 0) | (directions == (1 << ratio) - 1)
+                conflicts = int(np.count_nonzero(hysteresis_write & ~uniform))
+                if conflicts:
+                    self._telemetry.count(self._tele_names[3], conflicts)
+
         # Final state per touched group: the inclusive prefix of each
         # segment's last access, applied to that group's initial state.
         last = np.empty(n, dtype=np.bool_)
@@ -342,12 +447,17 @@ class SplitCounterArray:
     def predict_many(self, indices: np.ndarray) -> np.ndarray:
         """Gather direction bits for an int index array (read-only, any
         duplicates allowed) — the vectorized :meth:`predict`."""
+        if self._telemetry.enabled and len(indices):
+            self._telemetry.count(self._tele_names[0], len(indices))
         view = np.frombuffer(self._prediction, dtype=np.uint8)
         return view[indices & (self.size - 1)] != 0
 
     def packed_many(self, indices: np.ndarray) -> np.ndarray:
         """Gather packed counter states ``2*direction + strength`` (uint8,
-        read-only, duplicates allowed)."""
+        read-only, duplicates allowed).  Counts as one fetch-time read per
+        element, exactly like :meth:`predict_many`."""
+        if self._telemetry.enabled and len(indices):
+            self._telemetry.count(self._tele_names[0], len(indices))
         indices = indices & (self.size - 1)
         prediction = np.frombuffer(self._prediction, dtype=np.uint8)[indices]
         hysteresis = np.frombuffer(self._hysteresis, dtype=np.uint8)[
@@ -390,8 +500,41 @@ class SplitCounterArray:
             # (exactly the scalar ``strengthen``).
             agreeing = strengthen[selected] & ((direction != 0) == taken)
             stepped = np.where(agreeing, (direction << 1) | 1, stepped)
+        if self._telemetry.enabled:
+            self._account_unique_writes(h_idx, direction, state, taken)
         prediction_view[idx] = stepped >> 1
         hysteresis_view[h_idx] = stepped & 1
+
+    def _account_unique_writes(self, h_idx: np.ndarray,
+                               direction: np.ndarray, state: np.ndarray,
+                               taken: np.ndarray) -> None:
+        """Logical write accounting for :meth:`train_many_unique`, mirroring
+        the scalar ``strengthen`` / ``_step_towards`` arms exactly (called
+        with the pre-write state, like the scalar checks).  Strengthen and
+        update ops obey the same rule: an agreeing outcome issues a
+        hysteresis write, a strongly-disagreeing outcome issues a hysteresis
+        write, a weakly-disagreeing outcome issues a prediction write."""
+        strength = state & 1
+        agree = (direction != 0) == taken
+        hysteresis_write = agree | (strength == 1)
+        prediction_write = ~agree & (strength == 0)
+        names = self._tele_names
+        flips = int(np.count_nonzero(prediction_write))
+        if flips:
+            self._telemetry.count(names[1], flips)
+        hyst_writes = int(np.count_nonzero(hysteresis_write))
+        if hyst_writes:
+            self._telemetry.count(names[2], hyst_writes)
+        ratio = self.size // self.hysteresis_size
+        if ratio > 1:
+            view = np.frombuffer(self._prediction, dtype=np.uint8)
+            first = view[h_idx]
+            uniform = np.ones(len(h_idx), dtype=np.bool_)
+            for k in range(1, ratio):
+                uniform &= view[h_idx + k * self.hysteresis_size] == first
+            conflicts = int(np.count_nonzero(hysteresis_write & ~uniform))
+            if conflicts:
+                self._telemetry.count(names[3], conflicts)
 
     def set_counter(self, index: int, value: int) -> None:
         """Force a counter to a conventional 2-bit value (0..3). Test hook."""

@@ -24,6 +24,7 @@ from repro.experiments import (
     table2,
     table3,
 )
+from repro.obs import NullTelemetry, Telemetry, render_summary, use_telemetry
 from repro.sim.engine import ENGINE_ENV_VAR
 from repro.sim.result_cache import CACHE_ENV_VAR
 from repro.workloads.spec95 import default_trace_branches
@@ -80,13 +81,19 @@ def _runtime_defaults(engine: str | None, use_cache: bool):
 
 
 def run_all(num_branches: int | None = None, engine: str | None = "batched",
-            use_cache: bool = True) -> str:
+            use_cache: bool = True,
+            telemetry: NullTelemetry | None = None) -> str:
     """Run every experiment; return the consolidated Markdown report.
 
     By default every section runs on the batched engine with the
     persistent result cache enabled, so a repeated invocation skips all
     unchanged simulations; explicit ``REPRO_SIM_ENGINE`` /
     ``REPRO_RESULT_CACHE`` environment settings take precedence.
+
+    A recording ``telemetry`` sink is installed as the process-global
+    active sink for the duration (so every simulation, trace-cache and
+    result-cache access records into it) and its summary table is appended
+    to the report.
     """
     branches = num_branches or default_trace_branches()
     lines = [
@@ -97,10 +104,11 @@ def run_all(num_branches: int | None = None, engine: str | None = "batched",
         f"everywhere.",
         "",
     ]
-    with _runtime_defaults(engine, use_cache):
+    with _runtime_defaults(engine, use_cache), use_telemetry(telemetry) as sink:
         for title, module, finding in _SECTIONS:
             started = time.time()
-            result = module.run(num_branches)
+            with sink.span(module.__name__.rsplit(".", 1)[-1]):
+                result = module.run(num_branches)
             rendered = module.render(result)
             lines.append(f"## {title}")
             lines.append("")
@@ -110,6 +118,13 @@ def run_all(num_branches: int | None = None, engine: str | None = "batched",
             lines.append(rendered)
             lines.append("```")
             lines.append(f"*({time.time() - started:.0f}s)*")
+            lines.append("")
+        if sink.enabled:
+            lines.append("## Telemetry summary")
+            lines.append("")
+            lines.append("```")
+            lines.append(render_summary(sink.snapshot()))
+            lines.append("```")
             lines.append("")
     return "\n".join(lines)
 
@@ -124,9 +139,17 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI
                              "(default: batched)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent result cache")
+    parser.add_argument("--telemetry", type=Path, default=None,
+                        metavar="FILE",
+                        help="record telemetry and write it to FILE "
+                             "(.csv for CSV, anything else for JSON)")
     args = parser.parse_args(argv)
+    sink = Telemetry() if args.telemetry else None
     report = run_all(args.branches, engine=args.engine,
-                     use_cache=not args.no_cache)
+                     use_cache=not args.no_cache, telemetry=sink)
+    if sink is not None:
+        sink.write(args.telemetry)
+        print(f"wrote telemetry to {args.telemetry}")
     if args.output:
         args.output.write_text(report)
         print(f"wrote {args.output}")

@@ -1,0 +1,26 @@
+"""Observability: structured telemetry sinks for the simulation stack.
+
+See :mod:`repro.obs.telemetry` for the sink types and the process-global
+active-sink plumbing, and DESIGN.md ("Telemetry schema") for the recorded
+counter/histogram/span names and their stability promise.
+"""
+
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    render_summary,
+    set_telemetry,
+    use_telemetry,
+)
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "get_telemetry",
+    "render_summary",
+    "set_telemetry",
+    "use_telemetry",
+]

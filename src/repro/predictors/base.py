@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.common.counters import SplitCounterArray
 from repro.history.providers import InfoVector, VectorBatch
+from repro.obs import NULL_TELEMETRY, NullTelemetry
 
 __all__ = ["Predictor", "BatchCapable"]
 
@@ -26,6 +28,27 @@ class Predictor:
     """
 
     name: str = "predictor"
+
+    #: The telemetry sink instrumented predictors record into.  The class
+    #: default is the shared null sink, so un-instrumented simulations pay
+    #: only an ``enabled`` flag test per instrumented block; the engines
+    #: call :meth:`attach_telemetry` when a recording sink is active.
+    _telemetry: NullTelemetry = NULL_TELEMETRY
+
+    def attach_telemetry(self, sink: NullTelemetry) -> None:
+        """Route this predictor's instrumentation into ``sink``.
+
+        The default implementation also attaches every
+        :class:`~repro.common.counters.SplitCounterArray` attribute under
+        its attribute name (so 2Bc-gskew's banks report as ``bank.bim.*``,
+        ``bank.g0.*``, ``bank.g1.*``, ``bank.meta.*``).  Telemetry never
+        changes predictions or table state — only what is recorded about
+        them.
+        """
+        self._telemetry = sink
+        for attr, value in vars(self).items():
+            if isinstance(value, SplitCounterArray):
+                value.attach_telemetry(sink, attr.lstrip("_"))
 
     def predict(self, vector: InfoVector) -> bool:
         """Predict the branch described by ``vector`` (True = taken)."""

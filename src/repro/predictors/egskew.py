@@ -140,6 +140,11 @@ class EGskewPredictor(BatchCapable, Predictor):
         uncoupled = uncoupled_positions(*(
             stream & np.int64(bank.hysteresis_size - 1)
             for stream, bank in zip(indices, banks)))
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.count("replay.positions", len(takens))
+            telemetry.count("replay.coupled",
+                            len(takens) - int(np.count_nonzero(uncoupled)))
         if uncoupled.any():
             selected = [stream[uncoupled] for stream in indices]
             taken_u = takens[uncoupled]

@@ -275,6 +275,11 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
         if uncoupled.any():
             out[uncoupled] = self._train_many_uncoupled(
                 [stream[uncoupled] for stream in indices], takens[uncoupled])
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.count("replay.positions", len(takens))
+            telemetry.count("replay.coupled",
+                            len(takens) - int(np.count_nonzero(uncoupled)))
         coupled = np.nonzero(~uncoupled)[0]
         if not len(coupled):
             return
@@ -311,7 +316,14 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
         disagree = p_bim != majority
         mtaken = majority == takens
 
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            self._count_arbitration_many(telemetry, p_bim, use_majority,
+                                         majority, overall, takens)
+
         if self.update_policy == "total":
+            if telemetry.enabled:
+                telemetry.count("update.full", len(takens))
             self.meta.train_many_unique(meta_i, mtaken, update=disagree)
             everywhere = np.ones(len(takens), dtype=np.bool_)
             self.bim.train_many_unique(bim_i, takens, update=everywhere)
@@ -333,6 +345,20 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
             | (fixed & new_use_majority)
         bim_only = (correct & ~all_agree & ~use_majority) \
             | (fixed & ~new_use_majority)
+        if telemetry.enabled:
+            suppressed = int(np.count_nonzero(correct & all_agree))
+            if suppressed:
+                telemetry.count("update.suppressed", suppressed)
+                telemetry.count("update.suppressed_writes", 3 * suppressed)
+            strengthened = int(np.count_nonzero(correct & ~all_agree))
+            if strengthened:
+                telemetry.count("update.strengthened", strengthened)
+            chooser_fixed = int(np.count_nonzero(fixed))
+            if chooser_fixed:
+                telemetry.count("update.chooser_fixed", chooser_fixed)
+            full = int(np.count_nonzero(update_all))
+            if full:
+                telemetry.count("update.full", full)
         self.meta.train_many_unique(meta_i, mtaken,
                                     strengthen=meta_strengthen,
                                     update=meta_update)
@@ -350,7 +376,39 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
 
     # -- training ------------------------------------------------------------
 
+    @staticmethod
+    def _count_arbitration_many(telemetry, p_bim, use_majority, majority,
+                                overall, takens) -> None:
+        """Vectorized Meta-arbitration accounting: which side the chooser
+        selected per branch, and which candidates were correct.  Mirrors the
+        scalar accounting in :meth:`_train` exactly (zero counts stay
+        unrecorded, so scalar and batched sinks hold identical keys)."""
+        n = len(takens)
+        majority_chosen = int(np.count_nonzero(use_majority))
+        if majority_chosen:
+            telemetry.count("arbitration.majority_chosen", majority_chosen)
+        if n - majority_chosen:
+            telemetry.count("arbitration.bim_chosen", n - majority_chosen)
+        for name, correct_mask in (
+                ("arbitration.bim_correct", p_bim == takens),
+                ("arbitration.majority_correct", majority == takens),
+                ("arbitration.chosen_correct", overall == takens)):
+            hits = int(np.count_nonzero(correct_mask))
+            if hits:
+                telemetry.count(name, hits)
+
     def _train(self, indices, state, taken: bool) -> None:
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            p_bim, _, _, use_majority, majority, overall = state
+            telemetry.count("arbitration.majority_chosen" if use_majority
+                            else "arbitration.bim_chosen")
+            if p_bim == taken:
+                telemetry.count("arbitration.bim_correct")
+            if majority == taken:
+                telemetry.count("arbitration.majority_correct")
+            if overall == taken:
+                telemetry.count("arbitration.chosen_correct")
         if self.update_policy == "partial":
             self._train_partial(indices, state, taken)
         else:
@@ -391,9 +449,17 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
         """
         bim_i, g0_i, g1_i, meta_i = indices
         p_bim, p_g0, p_g1, use_majority, majority, overall = state
+        telemetry = self._telemetry
         if overall == taken:
             if p_bim == p_g0 == p_g1:
+                if telemetry.enabled:
+                    # Rationale 1 suppressed the three e-gskew bank writes a
+                    # total-update policy would have issued.
+                    telemetry.count("update.suppressed")
+                    telemetry.count("update.suppressed_writes", 3)
                 return
+            if telemetry.enabled:
+                telemetry.count("update.strengthened")
             if p_bim != majority:
                 # The used side was the correct one; reinforce the choice.
                 self.meta.strengthen(meta_i, majority == taken)
@@ -405,14 +471,20 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
         # Misprediction.
         if p_bim != majority:
             self.meta.update(meta_i, majority == taken)
-            new_use_majority = self.meta.predict(meta_i)
+            # peek, not predict: the chooser re-read is update-time logic,
+            # not a fetch-port read, so it stays out of bank.meta.reads.
+            new_use_majority = self.meta.peek(meta_i)
             new_overall = majority if new_use_majority else p_bim
             if new_overall == taken:
+                if telemetry.enabled:
+                    telemetry.count("update.chooser_fixed")
                 if new_use_majority:
                     self._strengthen_majority_side(indices, state, taken)
                 else:
                     self.bim.strengthen(bim_i, taken)
                 return
+        if telemetry.enabled:
+            telemetry.count("update.full")
         self._update_all_banks(indices, taken)
 
     def _train_total(self, indices, state, taken: bool) -> None:
@@ -420,6 +492,8 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
         the chooser trains whenever its inputs disagree."""
         _, _, _, _, majority, _ = state
         p_bim = state[0]
+        if self._telemetry.enabled:
+            self._telemetry.count("update.full")
         if p_bim != majority:
             self.meta.update(indices[3], majority == taken)
         self._update_all_banks(indices, taken)

@@ -19,9 +19,11 @@ per-branch predictors and the block-granular EV8 predictor.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 
 from repro.history.providers import HistoryProvider
+from repro.obs import NullTelemetry, get_telemetry
 from repro.predictors.base import Predictor
 from repro.sim import result_cache
 from repro.sim.engine import SimulationEngine, get_engine
@@ -35,7 +37,8 @@ def simulate(predictor: Predictor, trace: Trace,
              provider: HistoryProvider | None = None,
              warmup_branches: int = 0,
              engine: str | SimulationEngine | None = None,
-             use_cache: bool | None = None) -> SimulationResult:
+             use_cache: bool | None = None,
+             telemetry: NullTelemetry | None = None) -> SimulationResult:
     """Run one predictor over one trace.
 
     Parameters
@@ -61,8 +64,14 @@ def simulate(predictor: Predictor, trace: Trace,
         (:mod:`repro.sim.result_cache`).  ``None`` defers to the
         ``REPRO_RESULT_CACHE`` environment variable.  Inputs that cannot be
         fingerprinted simply run uncached.
+    telemetry:
+        Observability sink (:mod:`repro.obs`); ``None`` resolves the
+        process-global active sink (disabled by default).  A recording sink
+        receives result-cache hit/miss accounting here and the engine's
+        per-bank/per-phase instrumentation downstream.
     """
     resolved = get_engine(engine)
+    sink = get_telemetry(telemetry)
     if use_cache is None:
         use_cache = result_cache.cache_enabled()
     if use_cache:
@@ -73,12 +82,22 @@ def simulate(predictor: Predictor, trace: Trace,
         except result_cache.UncacheableError:
             key = None
         if key is not None:
-            cached = result_cache.load(key)
+            cached = result_cache.load(key, telemetry=sink)
             if cached is not None:
+                if sink.enabled:
+                    cached = replace(cached, telemetry=sink.snapshot())
                 return cached
+            started = time.perf_counter()
             result = replace(
-                resolved.run(predictor, trace, provider, warmup_branches),
+                resolved.run(predictor, trace, provider, warmup_branches,
+                             telemetry=sink),
                 cache="miss")
-            result_cache.store(key, result)
+            if sink.enabled:
+                sink.observe("result_cache.miss_seconds",
+                             time.perf_counter() - started)
+            result_cache.store(key, result, telemetry=sink)
+            if sink.enabled:
+                result = replace(result, telemetry=sink.snapshot())
             return result
-    return resolved.run(predictor, trace, provider, warmup_branches)
+    return resolved.run(predictor, trace, provider, warmup_branches,
+                        telemetry=sink)

@@ -35,6 +35,7 @@ from typing import Callable
 import numpy as np
 
 from repro.history.providers import BranchGhistProvider, HistoryProvider
+from repro.obs import NULL_TELEMETRY, NullTelemetry, get_telemetry
 from repro.predictors.base import BatchCapable, Predictor
 from repro.sim.metrics import SimulationResult
 from repro.traces.fetch import fetch_blocks_for
@@ -59,7 +60,16 @@ class SimulationEngine:
 
     def run(self, predictor: Predictor, trace: Trace,
             provider: HistoryProvider | None = None,
-            warmup_branches: int = 0) -> SimulationResult:
+            warmup_branches: int = 0,
+            telemetry: NullTelemetry | None = None) -> SimulationResult:
+        """Run one simulation.
+
+        ``telemetry`` is an opt-in observability sink (``None`` resolves the
+        process-global active sink, which defaults to disabled).  When a
+        recording sink is active the engine attaches it to the predictor for
+        the duration of the run, times its phases as spans, and stamps the
+        sink's snapshot onto ``SimulationResult.telemetry``.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -77,25 +87,39 @@ class ScalarEngine(SimulationEngine):
 
     def run(self, predictor: Predictor, trace: Trace,
             provider: HistoryProvider | None = None,
-            warmup_branches: int = 0) -> SimulationResult:
+            warmup_branches: int = 0,
+            telemetry: NullTelemetry | None = None) -> SimulationResult:
         if provider is None:
             provider = BranchGhistProvider()
+        sink = get_telemetry(telemetry)
+        if sink.enabled:
+            predictor.attach_telemetry(sink)
         started = time.perf_counter()
         mispredictions = 0
         branches = 0
         begin_block = provider.begin_block
         end_block = provider.end_block
         access = predictor.access
-        for block in fetch_blocks_for(trace):
-            if block.branch_pcs:
-                vectors = begin_block(block)
-                for vector, taken in zip(vectors, block.branch_outcomes):
-                    prediction = access(vector, taken)
-                    branches += 1
-                    if branches > warmup_branches and prediction != taken:
-                        mispredictions += 1
-            end_block(block)
+        try:
+            with sink.span("scalar_run"):
+                for block in fetch_blocks_for(trace):
+                    if block.branch_pcs:
+                        vectors = begin_block(block)
+                        for vector, taken in zip(vectors,
+                                                 block.branch_outcomes):
+                            prediction = access(vector, taken)
+                            branches += 1
+                            if (branches > warmup_branches
+                                    and prediction != taken):
+                                mispredictions += 1
+                    end_block(block)
+        finally:
+            if sink.enabled:
+                predictor.attach_telemetry(NULL_TELEMETRY)
         wall_seconds = time.perf_counter() - started
+        if sink.enabled:
+            sink.count("engine.scalar_runs")
+            sink.count("engine.branches", branches)
         return SimulationResult(
             predictor_name=predictor.name,
             trace_name=trace.name,
@@ -104,6 +128,7 @@ class ScalarEngine(SimulationEngine):
             instructions=trace.instruction_count,
             wall_seconds=wall_seconds,
             engine=self.name,
+            telemetry=sink.snapshot() if sink.enabled else None,
         )
 
 
@@ -136,25 +161,44 @@ class BatchedEngine(SimulationEngine):
 
     def run(self, predictor: Predictor, trace: Trace,
             provider: HistoryProvider | None = None,
-            warmup_branches: int = 0) -> SimulationResult:
+            warmup_branches: int = 0,
+            telemetry: NullTelemetry | None = None) -> SimulationResult:
         if provider is None:
             provider = BranchGhistProvider()
+        sink = get_telemetry(telemetry)
         started = time.perf_counter()
-        reason = self._explain_fallback(predictor, provider)
-        batch = None if reason else provider.materialize(trace)
-        if batch is None:
-            if reason is None:
-                reason = (f"{type(provider).__name__} cannot materialize "
-                          f"its information vectors")
-            if self.strict:
-                raise ValueError(f"batched engine unavailable: {reason}")
-            return self._fallback.run(predictor, trace, provider,
-                                      warmup_branches)
-        predictions = predictor.batch_access(batch)
+        with sink.span("batched_run"):
+            reason = self._explain_fallback(predictor, provider)
+            if reason:
+                batch = None
+            else:
+                with sink.span("materialize"):
+                    batch = provider.materialize(trace)
+            if batch is None:
+                if reason is None:
+                    reason = (f"{type(provider).__name__} cannot materialize "
+                              f"its information vectors")
+                if self.strict:
+                    raise ValueError(f"batched engine unavailable: {reason}")
+                if sink.enabled:
+                    sink.count("engine.batched_fallbacks")
+                return self._fallback.run(predictor, trace, provider,
+                                          warmup_branches, telemetry=sink)
+            if sink.enabled:
+                predictor.attach_telemetry(sink)
+            try:
+                with sink.span("replay"):
+                    predictions = predictor.batch_access(batch)
+            finally:
+                if sink.enabled:
+                    predictor.attach_telemetry(NULL_TELEMETRY)
         branches = len(batch)
         counted = predictions[warmup_branches:] != batch.takens[warmup_branches:]
         mispredictions = int(np.count_nonzero(counted))
         wall_seconds = time.perf_counter() - started
+        if sink.enabled:
+            sink.count("engine.batched_runs")
+            sink.count("engine.branches", branches)
         return SimulationResult(
             predictor_name=predictor.name,
             trace_name=trace.name,
@@ -163,6 +207,7 @@ class BatchedEngine(SimulationEngine):
             instructions=trace.instruction_count,
             wall_seconds=wall_seconds,
             engine=self.name,
+            telemetry=sink.snapshot() if sink.enabled else None,
         )
 
 

@@ -8,7 +8,7 @@ actually feels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["SimulationResult", "misp_per_ki", "aggregate_misp_per_ki"]
 
@@ -30,6 +30,13 @@ class SimulationResult:
     provenance: ``"off"`` (caching inactive), ``"miss"`` (simulated and
     stored) or ``"hit"`` (loaded from the persistent result cache, with
     the *original* run's ``wall_seconds``).
+
+    ``telemetry`` is the observability snapshot
+    (:meth:`repro.obs.Telemetry.snapshot`) stamped when the run executed
+    under a recording sink, else ``None``.  Like the throughput fields it
+    is bookkeeping, not an accuracy metric: it is excluded from equality so
+    instrumented and uninstrumented runs of the same simulation compare
+    equal.
     """
 
     predictor_name: str
@@ -40,6 +47,7 @@ class SimulationResult:
     wall_seconds: float = 0.0
     engine: str = "scalar"
     cache: str = "off"
+    telemetry: dict | None = field(default=None, compare=False, repr=False)
 
     @property
     def misp_per_ki(self) -> float:

@@ -41,6 +41,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 import types
 from collections import deque
 from pathlib import Path
@@ -48,6 +49,7 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from repro.obs import NullTelemetry, get_telemetry
 from repro.sim.metrics import SimulationResult
 from repro.traces.model import Trace
 
@@ -78,6 +80,11 @@ def cache_dir() -> Path:
 # -- fingerprinting ----------------------------------------------------------
 
 _TRACE_HASHES: WeakKeyDictionary = WeakKeyDictionary()
+
+_TELEMETRY_ATTRS = frozenset({"_telemetry", "_tele_names"})
+"""Attribute names carrying telemetry wiring.  Excluded from structural
+fingerprints: attaching (or detaching) an observability sink never changes
+what a simulation computes, so it must not change its cache key."""
 
 
 def _trace_content_digest(trace: Trace) -> bytes:
@@ -134,6 +141,10 @@ def _update(hasher, value, memo: dict[int, int]) -> None:
         for key, item in items:
             _update(hasher, key, memo)
             _update(hasher, item, memo)
+    elif isinstance(value, NullTelemetry):
+        # Observability sinks (recording or null) are bookkeeping, not a
+        # simulation input: fingerprint them all as one fixed tag.
+        hasher.update(b"\x00G")
     elif isinstance(value, (types.ModuleType, types.FunctionType,
                             types.BuiltinFunctionType, types.MethodType,
                             types.LambdaType, type)):
@@ -154,6 +165,8 @@ def _update(hasher, value, memo: dict[int, int]) -> None:
                     attrs[slot] = getattr(value, slot)
         attrs.update(getattr(value, "__dict__", {}))
         for name in sorted(attrs):
+            if name in _TELEMETRY_ATTRS:
+                continue
             _update(hasher, name, memo)
             _update(hasher, attrs[name], memo)
 
@@ -180,15 +193,29 @@ def result_key(predictor, trace: Trace, provider, warmup_branches: int,
 # -- storage -----------------------------------------------------------------
 
 
-def load(key: str) -> SimulationResult | None:
+def load(key: str,
+         telemetry: NullTelemetry | None = None) -> SimulationResult | None:
     """The cached result for ``key`` (with ``cache="hit"``), or ``None``.
 
-    Unreadable or structurally invalid entries count as misses.
+    Unreadable or structurally invalid entries count as misses.  Telemetry
+    distinguishes the three outcomes: ``result_cache.hits`` (entry present
+    and valid, with the load latency in ``result_cache.hit_seconds``),
+    ``result_cache.cold_misses`` (no entry) and ``result_cache.corrupt``
+    (entry present but unreadable — the driver will re-simulate and
+    overwrite it).
     """
+    sink = get_telemetry(telemetry)
     path = cache_dir() / f"{key}.json"
+    started = time.perf_counter()
     try:
-        payload = json.loads(path.read_text())
-        return SimulationResult(
+        text = path.read_text()
+    except OSError:
+        if sink.enabled:
+            sink.count("result_cache.cold_misses")
+        return None
+    try:
+        payload = json.loads(text)
+        result = SimulationResult(
             predictor_name=payload["predictor_name"],
             trace_name=payload["trace_name"],
             branches=int(payload["branches"]),
@@ -198,17 +225,29 @@ def load(key: str) -> SimulationResult | None:
             engine=payload["engine"],
             cache="hit",
         )
-    except (OSError, ValueError, KeyError, TypeError):
+    except (ValueError, KeyError, TypeError):
+        if sink.enabled:
+            sink.count("result_cache.corrupt")
         return None
+    if sink.enabled:
+        sink.count("result_cache.hits")
+        sink.observe("result_cache.hit_seconds",
+                     time.perf_counter() - started)
+    return result
 
 
-def store(key: str, result: SimulationResult) -> None:
+def store(key: str, result: SimulationResult,
+          telemetry: NullTelemetry | None = None) -> None:
     """Persist one result atomically (write-to-temp, then rename)."""
+    sink = get_telemetry(telemetry)
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
     payload = dataclasses.asdict(result)
     payload.pop("cache", None)  # provenance is per-invocation, not stored
+    payload.pop("telemetry", None)  # snapshots describe the producing run
     path = directory / f"{key}.json"
     temporary = directory / f".{key}.{os.getpid()}.tmp"
     temporary.write_text(json.dumps(payload, indent=2, sort_keys=True))
     os.replace(temporary, path)
+    if sink.enabled:
+        sink.count("result_cache.stores")

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.history.providers import HistoryProvider
+from repro.obs import NullTelemetry, Telemetry, get_telemetry
 from repro.predictors.base import Predictor
 from repro.sim.driver import simulate
 from repro.sim.engine import SimulationEngine
@@ -41,17 +42,29 @@ def _evaluate_point(make_predictor: Callable[[int], Predictor],
                     traces: dict[str, Trace],
                     make_provider: Callable[[], HistoryProvider] | None,
                     engine: str | SimulationEngine | None,
-                    use_cache: bool | None = None) -> SweepPoint:
-    """Evaluate one sweep point (module-level so process pools can run it)."""
+                    use_cache: bool | None = None,
+                    collect_telemetry: bool = False
+                    ) -> tuple[SweepPoint, dict | None]:
+    """Evaluate one sweep point (module-level so process pools can run it).
+
+    Returns the point plus, when ``collect_telemetry``, the snapshot of a
+    point-local recording sink.  Each point gets its *own* child sink —
+    worker processes share no memory with the caller, so telemetry crosses
+    the pool boundary as plain snapshot dicts that the caller merges back
+    deterministically (serial and parallel sweeps fold the same per-point
+    snapshots in the same ``values`` order).
+    """
+    sink = Telemetry() if collect_telemetry else None
     per_benchmark = {}
     for name, trace in traces.items():
         provider = make_provider() if make_provider is not None else None
         result = simulate(make_predictor(value), trace, provider,
-                          engine=engine, use_cache=use_cache)
+                          engine=engine, use_cache=use_cache, telemetry=sink)
         per_benchmark[name] = result.misp_per_ki
     mean = sum(per_benchmark.values()) / len(per_benchmark)
-    return SweepPoint(value=value, mean_misp_per_ki=mean,
-                      per_benchmark=per_benchmark)
+    point = SweepPoint(value=value, mean_misp_per_ki=mean,
+                       per_benchmark=per_benchmark)
+    return point, (sink.snapshot() if sink is not None else None)
 
 
 def sweep(make_predictor: Callable[[int], Predictor],
@@ -60,11 +73,25 @@ def sweep(make_predictor: Callable[[int], Predictor],
           make_provider: Callable[[], HistoryProvider] | None = None,
           engine: str | SimulationEngine | None = None,
           use_cache: bool | None = None,
+          telemetry: NullTelemetry | None = None,
           ) -> list[SweepPoint]:
-    """Evaluate ``make_predictor(value)`` for every value, on every trace."""
-    return [_evaluate_point(make_predictor, value, traces, make_provider,
-                            engine, use_cache)
-            for value in values]
+    """Evaluate ``make_predictor(value)`` for every value, on every trace.
+
+    With a recording ``telemetry`` sink, every point records into its own
+    child sink and the snapshots merge into ``telemetry`` in ``values``
+    order — the same protocol :func:`sweep_parallel` uses, so serial and
+    parallel sweeps of the same work accumulate identical counters.
+    """
+    sink = get_telemetry(telemetry)
+    points = []
+    for value in values:
+        point, snapshot = _evaluate_point(make_predictor, value, traces,
+                                          make_provider, engine, use_cache,
+                                          collect_telemetry=sink.enabled)
+        if snapshot is not None:
+            sink.merge_snapshot(snapshot)
+        points.append(point)
+    return points
 
 
 def sweep_parallel(make_predictor: Callable[[int], Predictor],
@@ -74,6 +101,7 @@ def sweep_parallel(make_predictor: Callable[[int], Predictor],
                    engine: str | None = None,
                    max_workers: int | None = None,
                    use_cache: bool | None = None,
+                   telemetry: NullTelemetry | None = None,
                    ) -> list[SweepPoint]:
     """:func:`sweep` with points fanned out over a process pool.
 
@@ -85,23 +113,37 @@ def sweep_parallel(make_predictor: Callable[[int], Predictor],
     transparently degrades to the serial path with a warning, so callers
     never lose results.  ``engine`` must be a registered engine *name* here,
     as engine instances do not cross process boundaries.
+
+    Worker processes share no memory, so a recording ``telemetry`` sink
+    cannot simply be written to from the pool: each point records into a
+    worker-local child sink whose snapshot travels back with the result and
+    merges into ``telemetry`` in ``values`` order, making the merged
+    counters identical to a serial :func:`sweep` of the same work.
     """
     values = list(values)
+    sink = get_telemetry(telemetry)
     if max_workers is not None and max_workers <= 1:
         return sweep(make_predictor, values, traces, make_provider, engine,
-                     use_cache)
+                     use_cache, telemetry=sink)
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = [pool.submit(_evaluate_point, make_predictor, value,
-                                   traces, make_provider, engine, use_cache)
+                                   traces, make_provider, engine, use_cache,
+                                   sink.enabled)
                        for value in values]
-            return [future.result() for future in futures]
+            outcomes = [future.result() for future in futures]
     except Exception as error:  # unpicklable factory, broken pool, ...
         warnings.warn(
             f"sweep_parallel falling back to serial sweep: {error!r}",
             RuntimeWarning, stacklevel=2)
         return sweep(make_predictor, values, traces, make_provider, engine,
-                     use_cache)
+                     use_cache, telemetry=sink)
+    points = []
+    for point, snapshot in outcomes:
+        if snapshot is not None:
+            sink.merge_snapshot(snapshot)
+        points.append(point)
+    return points
 
 
 def best_history_length(make_predictor: Callable[[int], Predictor],

@@ -12,12 +12,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import zipfile
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
+from repro.obs import NullTelemetry, get_telemetry
 from repro.traces.model import Trace
 
 __all__ = ["save_trace", "load_trace", "TraceCache", "default_cache_dir"]
@@ -88,9 +90,14 @@ class TraceCache:
     1
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+    def __init__(self, directory: str | os.PathLike | None = None,
+                 telemetry: NullTelemetry | None = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
         self._memory: dict[str, Trace] = {}
+        # None defers to the process-global active sink per lookup, so a
+        # long-lived cache instance still reports into whichever sink is
+        # active when it is consulted (e.g. under ``use_telemetry``).
+        self._telemetry = telemetry
 
     def _key(self, name: str, parameters: dict) -> str:
         canonical = json.dumps(parameters, sort_keys=True, default=str)
@@ -101,26 +108,48 @@ class TraceCache:
                         generate: Callable[[], Trace]) -> Trace:
         """Return the cached trace for ``(name, parameters)``, generating and
         persisting it on first use.  An in-memory layer avoids re-reading the
-        archive within a process."""
+        archive within a process.
+
+        Telemetry distinguishes the four outcomes:
+        ``trace_cache.memory_hits``, ``trace_cache.disk_hits``,
+        ``trace_cache.cold_misses`` (no archive — generated and stored) and
+        ``trace_cache.corrupt_regenerated`` (archive present but unreadable
+        — dropped, regenerated, rewritten); generation wall time lands in
+        the ``trace_cache.generate_seconds`` histogram.
+        """
+        sink = get_telemetry(self._telemetry)
         key = self._key(name, parameters)
         trace = self._memory.get(key)
         if trace is not None:
+            if sink.enabled:
+                sink.count("trace_cache.memory_hits")
             return trace
         path = self.directory / f"{key}.npz"
+        corrupt = False
         if path.exists():
             try:
                 trace = load_trace(path)
+                if sink.enabled:
+                    sink.count("trace_cache.disk_hits")
             except (ValueError, OSError, KeyError, zipfile.BadZipFile):
                 # Corrupt/stale cache entry: drop it and regenerate.  A
                 # truncated or garbage archive surfaces as BadZipFile from
                 # np.load's zipfile layer, not as one of numpy's own errors.
                 trace = None
+                corrupt = True
                 try:
                     path.unlink()
                 except OSError:
                     pass
         if trace is None:
+            if sink.enabled:
+                sink.count("trace_cache.corrupt_regenerated" if corrupt
+                           else "trace_cache.cold_misses")
+            started = time.perf_counter()
             trace = generate()
+            if sink.enabled:
+                sink.observe("trace_cache.generate_seconds",
+                             time.perf_counter() - started)
             try:
                 save_trace(trace, path)
             except OSError:

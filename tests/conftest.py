@@ -2,12 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.history.providers import InfoVector
 from repro.traces.model import TerminatorKind, Trace, TraceBuilder
 from repro.workloads.spec95 import spec95_trace
+
+# Hypothesis profiles, selected via HYPOTHESIS_PROFILE (default "dev").
+# Both keep the library's per-test example counts; "ci" additionally
+# tolerates slow shared runners.  The differential fuzzer
+# (test_differential.py) layers its own example budget on top via
+# REPRO_DIFF_FUZZ_EXAMPLES, which is how the dedicated CI step caps its
+# wall time.
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 TEST_TRACE_BRANCHES = 15_000
 """Trace length for integration-level tests: long enough for predictors to

@@ -1,4 +1,6 @@
-"""Persistent simulation-result cache: keying, storage, and driver plumbing."""
+"""Persistent caches: result-cache keying/storage/driver plumbing, plus the
+telemetry that distinguishes cold-miss, corrupt-regenerate and hit for both
+the result cache and the trace cache."""
 
 from __future__ import annotations
 
@@ -9,6 +11,7 @@ import pytest
 
 from conftest import simple_loop_trace
 from repro.history.providers import BlockLghistProvider, BranchGhistProvider
+from repro.obs import Telemetry, use_telemetry
 from repro.predictors import GsharePredictor
 from repro.sim import result_cache
 from repro.sim.driver import simulate
@@ -23,6 +26,7 @@ from repro.sim.result_cache import (
     result_key,
     store,
 )
+from repro.traces.io import TraceCache
 
 
 @pytest.fixture
@@ -179,3 +183,121 @@ class TestDriverPlumbing:
         assert hit.cache == "hit"
         assert hit.mispredictions == fresh.mispredictions
         assert hit.branches == fresh.branches
+
+
+class TestResultCacheTelemetry:
+    """The cache telemetry distinguishes its three lookup outcomes."""
+
+    def test_cold_miss_then_hit(self, cache_env, trace):
+        sink = Telemetry()
+        first = simulate(_gshare(), trace, engine="batched", telemetry=sink)
+        second = simulate(_gshare(), trace, engine="batched", telemetry=sink)
+        assert (first.cache, second.cache) == ("miss", "hit")
+        assert sink.counters["result_cache.cold_misses"] == 1
+        assert sink.counters["result_cache.hits"] == 1
+        assert sink.counters["result_cache.stores"] == 1
+        assert "result_cache.corrupt" not in sink.counters
+        assert sink.histograms["result_cache.hit_seconds"]["count"] == 1
+        assert sink.histograms["result_cache.miss_seconds"]["count"] == 1
+        # The miss simulated; the hit only read a small JSON file.
+        assert sink.histograms["result_cache.miss_seconds"]["total"] \
+            >= sink.histograms["result_cache.hit_seconds"]["total"]
+
+    def test_corrupt_entry_counts_and_is_rewritten(self, cache_env, trace):
+        simulate(_gshare(), trace, engine="batched")
+        entry, = cache_env.glob("*.json")
+        entry.write_text("{definitely not json")
+        sink = Telemetry()
+        recovered = simulate(_gshare(), trace, engine="batched",
+                             telemetry=sink)
+        assert recovered.cache == "miss"  # re-simulated and re-stored
+        assert sink.counters["result_cache.corrupt"] == 1
+        assert sink.counters["result_cache.stores"] == 1
+        assert "result_cache.hits" not in sink.counters
+        assert "result_cache.cold_misses" not in sink.counters
+        # The rewrite healed the entry: the next lookup is a clean hit.
+        healed = simulate(_gshare(), trace, engine="batched", telemetry=sink)
+        assert healed.cache == "hit"
+        assert sink.counters["result_cache.hits"] == 1
+        assert healed.mispredictions == recovered.mispredictions
+
+    def test_structurally_invalid_entry_is_corrupt(self, cache_env):
+        cache_env.mkdir(parents=True, exist_ok=True)
+        (cache_env / "partial.json").write_text('{"branches": 3}')
+        sink = Telemetry()
+        assert load("partial", telemetry=sink) is None
+        assert sink.counters == {"result_cache.corrupt": 1}
+
+    def test_active_sink_used_when_none_passed(self, cache_env):
+        sink = Telemetry()
+        with use_telemetry(sink):
+            assert load("0" * 64) is None
+        assert sink.counters == {"result_cache.cold_misses": 1}
+
+    def test_null_sink_records_nothing(self, cache_env, trace):
+        result = simulate(_gshare(), trace, engine="batched")
+        assert result.cache == "miss"
+        assert load("0" * 64) is None  # and no sink to notice it
+
+
+class TestTraceCacheTelemetry:
+    """trace_cache.* distinguishes memory hit, disk hit, cold miss and
+    corrupt-regenerate (the satellite case: a garbage ``.npz`` must be
+    dropped, regenerated, and rewritten)."""
+
+    @staticmethod
+    def _generator(calls):
+        def generate():
+            calls.append(1)
+            return simple_loop_trace(60, name="cached")
+        return generate
+
+    def test_cold_miss_then_memory_then_disk(self, tmp_path):
+        sink = Telemetry()
+        calls = []
+        cache = TraceCache(tmp_path, telemetry=sink)
+        cache.get_or_generate("t", {"n": 1}, self._generator(calls))
+        assert sink.counters == {"trace_cache.cold_misses": 1}
+        assert sink.histograms["trace_cache.generate_seconds"]["count"] == 1
+
+        cache.get_or_generate("t", {"n": 1}, self._generator(calls))
+        assert sink.counters["trace_cache.memory_hits"] == 1
+
+        cache.clear_memory()
+        cache.get_or_generate("t", {"n": 1}, self._generator(calls))
+        assert sink.counters["trace_cache.disk_hits"] == 1
+        assert len(calls) == 1  # generated exactly once throughout
+
+    def test_corrupt_npz_is_regenerated_and_rewritten(self, tmp_path):
+        sink = Telemetry()
+        calls = []
+        cache = TraceCache(tmp_path, telemetry=sink)
+        first = cache.get_or_generate("t", {"n": 1}, self._generator(calls))
+        archive, = tmp_path.glob("*.npz")
+        archive.write_bytes(b"\x00garbage, not a zip archive")
+
+        cache.clear_memory()
+        regenerated = cache.get_or_generate("t", {"n": 1},
+                                            self._generator(calls))
+        assert len(calls) == 2
+        assert regenerated.conditional_count == first.conditional_count
+        assert sink.counters["trace_cache.corrupt_regenerated"] == 1
+        assert sink.counters["trace_cache.cold_misses"] == 1
+        assert sink.histograms["trace_cache.generate_seconds"]["count"] == 2
+
+        # The regeneration rewrote the archive: next lookup is a disk hit.
+        cache.clear_memory()
+        cache.get_or_generate("t", {"n": 1}, self._generator(calls))
+        assert len(calls) == 2
+        assert sink.counters["trace_cache.disk_hits"] == 1
+
+    def test_defers_to_active_sink_when_unbound(self, tmp_path):
+        sink = Telemetry()
+        cache = TraceCache(tmp_path)  # no sink bound at construction
+        with use_telemetry(sink):
+            cache.get_or_generate("t", {"n": 1}, self._generator([]))
+        assert sink.counters == {"trace_cache.cold_misses": 1}
+        # Outside the scope, the same instance goes quiet again.
+        cache.clear_memory()
+        cache.get_or_generate("t", {"n": 1}, self._generator([]))
+        assert sink.counters == {"trace_cache.cold_misses": 1}
