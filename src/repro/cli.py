@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--branches", type=int, default=100_000)
     sweep.add_argument("--lengths", type=int, nargs="+",
                        default=[0, 4, 8, 12, 16, 20])
+    sweep.add_argument("--parallel", action="store_true",
+                       help="fan the sweep out over the shared-memory "
+                            "plane fabric and persistent worker pool")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes for --parallel "
+                            "(default: one per CPU)")
     return parser
 
 
@@ -148,12 +154,24 @@ def _command_experiment(name: str, args) -> int:
     return 0
 
 
+def _gshare_factory(entries: int, history: int):
+    """Module-level sweep factory: ``sweep_parallel`` ships factories to
+    worker processes, so this must be picklable (a lambda is not)."""
+    from repro import GsharePredictor
+    return GsharePredictor(entries, history)
+
+
 def _command_sweep(args) -> int:
-    from repro import GsharePredictor, spec95_trace
-    from repro.sim.sweep import sweep as run_sweep
+    import functools
+    from repro import spec95_trace
+    from repro.sim.sweep import sweep as run_sweep, sweep_parallel
     traces = {args.benchmark: spec95_trace(args.benchmark, args.branches)}
-    points = run_sweep(lambda h: GsharePredictor(args.entries, h),
-                       args.lengths, traces)
+    factory = functools.partial(_gshare_factory, args.entries)
+    if args.parallel:
+        points = sweep_parallel(factory, args.lengths, traces,
+                                max_workers=args.workers)
+    else:
+        points = run_sweep(factory, args.lengths, traces)
     best = min(points, key=lambda point: point.mean_misp_per_ki)
     for point in points:
         marker = "  <- best" if point is best else ""

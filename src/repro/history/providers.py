@@ -24,11 +24,13 @@ import numpy as np
 
 from repro.history.lghist import LghistRegister
 from repro.history.registers import GlobalHistoryRegister, PathRegister
+from repro.obs import get_telemetry
 from repro.traces.fetch import FETCH_BLOCK_BYTES, FetchBlock, fetch_blocks_for
 from repro.traces.model import INSTRUCTION_BYTES, TerminatorKind, Trace
 
 __all__ = ["InfoVector", "VectorBatch", "HistoryProvider",
-           "BranchGhistProvider", "BlockLghistProvider", "ev8_info_provider"]
+           "BranchGhistProvider", "BlockLghistProvider", "ev8_info_provider",
+           "seed_plane_cache"]
 
 
 class InfoVector:
@@ -127,6 +129,19 @@ class HistoryProvider:
         Returns ``None`` when this provider cannot materialize (the batched
         engine then falls back to the scalar path).  Materialization starts
         from reset register state, matching a fresh provider instance.
+        """
+        return None
+
+    def plane_key(self) -> tuple | None:
+        """Hashable configuration key for the shared-memory plane fabric
+        (:mod:`repro.sim.planes`).
+
+        A materialized batch is a pure function of (trace, this key), so
+        batches published under the same key may be shared across processes
+        and adopted into the module-level materialization caches via
+        :func:`seed_plane_cache`.  ``None`` means this provider's batches
+        cannot be keyed (e.g. it cannot materialize at all), and the fabric
+        simply skips batch planes for it.
         """
         return None
 
@@ -247,6 +262,11 @@ class BranchGhistProvider(HistoryProvider):
         self._history.reset()
         self._path.reset()
 
+    def plane_key(self) -> tuple | None:
+        if self._history.capacity > 64:
+            return None  # cannot materialize, so nothing to share
+        return ("ghist", self._history.capacity, self._path.depth)
+
     def materialize(self, trace: Trace) -> VectorBatch | None:
         """Whole-trace ghist vectors, bit-identical to the scalar walk.
 
@@ -262,6 +282,7 @@ class BranchGhistProvider(HistoryProvider):
         cached = _GHIST_BATCH_CACHE.setdefault(trace, {}).get(key)
         if cached is not None:
             return cached
+        _count_materialize_computed()
         geometry = _branch_block_geometry(trace)
         if geometry is None:
             # Discontiguous not-taken record boundary: fall back to the
@@ -337,6 +358,13 @@ class BlockLghistProvider(HistoryProvider):
         self._banks.reset()
         self._block_bank = None
 
+    def plane_key(self) -> tuple | None:
+        register = self._lghist
+        if register.capacity > 64:
+            return None  # cannot materialize, so nothing to share
+        return ("lghist", register.include_path, register.delay_blocks,
+                register.capacity, self._path.depth)
+
     def materialize(self, trace: Trace) -> VectorBatch | None:
         """Whole-trace lghist vectors, bit-identical to the scalar walk.
 
@@ -361,6 +389,7 @@ class BlockLghistProvider(HistoryProvider):
         cached = _LGHIST_BATCH_CACHE.setdefault(trace, {}).get(key)
         if cached is not None:
             return cached
+        _count_materialize_computed()
         geometry = _branch_block_geometry(trace)
         if geometry is None:
             pcs, takens, ordinals, starts = _branch_block_geometry_slow(trace)
@@ -419,6 +448,51 @@ class BlockLghistProvider(HistoryProvider):
 _LGHIST_BATCH_CACHE: WeakKeyDictionary = WeakKeyDictionary()
 """Materialized lghist batches per trace, keyed by (include_path,
 delay_blocks, capacity, path_depth) — the full provider configuration."""
+
+
+def _count_materialize_computed() -> None:
+    """Record one *actual* materialization compute into the process-global
+    telemetry sink (cache hits and fabric adoptions never reach here).
+
+    The counter is fabric/orchestration accounting rather than simulation
+    semantics, so it deliberately bypasses the engine's per-run sink: the
+    sweep layer's serial == parallel merged-counter invariant covers the
+    simulation namespaces, while ``provider.materialize_computed`` depends
+    on which process did the work — tests wrap sweeps in
+    :func:`repro.obs.use_telemetry` to observe it.
+    """
+    sink = get_telemetry(None)
+    if sink.enabled:
+        sink.count("provider.materialize_computed")
+
+
+def seed_plane_cache(plane_key: tuple, trace: Trace, batch: VectorBatch) -> bool:
+    """Adopt an externally materialized batch into the module-level cache.
+
+    ``plane_key`` must be a key produced by
+    :meth:`HistoryProvider.plane_key`; ``batch`` must hold the columns that
+    materializing ``trace`` under that configuration would produce (the
+    plane fabric guarantees this by construction: batches are published
+    under the key of the provider that materialized them, and manifests
+    carry content digests).  Returns ``True`` if the batch was adopted,
+    ``False`` if the key is unknown or the cache already holds an entry
+    (an existing entry always wins — it was materialized locally and is
+    bit-identical by the same purity argument).
+    """
+    if not plane_key:
+        return False
+    if plane_key[0] == "ghist":
+        cache = _GHIST_BATCH_CACHE
+    elif plane_key[0] == "lghist":
+        cache = _LGHIST_BATCH_CACHE
+    else:
+        return False
+    per_trace = cache.setdefault(trace, {})
+    key = tuple(plane_key[1:])
+    if key in per_trace:
+        return False
+    per_trace[key] = batch
+    return True
 
 
 def ev8_info_provider(capacity: int = 64) -> BlockLghistProvider:

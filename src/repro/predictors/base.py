@@ -104,6 +104,20 @@ class BatchCapable:
     scalar loop (multiple update-coupled tables).
     """
 
+    #: Replay-kernel selector: ``"fast"`` lets the predictor use its
+    #: quickest bit-identical replay path; ``"compat"`` pins the original
+    #: accounting path (the one that records per-bank telemetry), which is
+    #: what the ``"batched-compat"`` engine uses to reproduce pre-fabric
+    #: behaviour for honest benchmarking.  Predictors with a single replay
+    #: path may ignore it.
+    _replay_kernel: str = "fast"
+
+    def set_replay_kernel(self, kernel: str) -> None:
+        """Select the replay kernel for subsequent :meth:`batch_access`
+        calls.  Every kernel is bit-identical by contract; the choice only
+        affects throughput and telemetry detail."""
+        self._replay_kernel = kernel
+
     def batch_supported(self) -> bool:
         """Whether this instance's configuration can run batched."""
         return True

@@ -34,6 +34,15 @@ from repro.predictors.base import BatchCapable, Predictor
 __all__ = ["TableConfig", "IndexScheme", "SkewedIndexScheme",
            "TwoBcGskewPredictor"]
 
+_UNCOUPLED_VECTOR_THRESHOLD = 0.25
+"""Minimum uncoupled fraction (measured on the first chunk) for the fast
+replay path to keep running the vectorized uncoupled pass.  Long-history
+configurations like Table 1 leave only a few percent of positions uncoupled,
+where the inlined scalar kernel is just as fast on the whole chunk and
+computing :func:`~repro.common.replay.uncoupled_positions` is pure
+overhead; short-history configurations collide constantly the other way
+around and want the vectorized pass."""
+
 _PATH_BITS_PER_BLOCK = 2
 """Address bits taken from each previous-block address when the index scheme
 embeds path information (Section 5.2).  Kept deliberately small: the real
@@ -250,6 +259,24 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
         other position replay in one vectorized pass
         (:meth:`_train_many_uncoupled`), and only the colliding remainder
         replays scalar, in stream order (see :mod:`repro.common.replay`).
+
+        Two bit-identical replay kernels back the scalar remainder:
+
+        * the **fast** kernel (:meth:`_replay_coupled_fast`) inlines the
+          four banks' split-counter transitions over their raw byte arrays
+          — no per-position method calls, no telemetry sites; it is the
+          default whenever no recording sink is attached.  When the first
+          chunk shows the uncoupled fraction below
+          :data:`_UNCOUPLED_VECTOR_THRESHOLD`, subsequent chunks skip the
+          uncoupled scan entirely and replay all-scalar through the same
+          kernel (equally fast at that collision rate, and the scan itself
+          is then pure overhead);
+        * the **compat** kernel (:meth:`_replay_chunk`) routes through
+          :meth:`_read`/:meth:`_train`, preserving per-bank telemetry
+          accounting.  Selected when a recording sink is attached or when
+          the engine pins ``replay_kernel="compat"`` (the
+          ``"batched-compat"`` engine, kept as the honest pre-fabric
+          baseline for benchmarks).
         """
         tables = (self.bim, self.g0, self.g1, self.meta)
         streams = [stream.astype(np.int64, copy=False)
@@ -260,10 +287,24 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
         takens = batch.takens
         n = len(batch)
         predictions = np.empty(n, dtype=np.bool_)
-        for lo in range(0, n, max(chunk, 1)):
-            hi = min(lo + max(chunk, 1), n)
-            self._replay_chunk([stream[lo:hi] for stream in streams],
-                               takens[lo:hi], predictions[lo:hi])
+        fast = self._replay_kernel != "compat" and not self._telemetry.enabled
+        scan_uncoupled = True
+        step = max(chunk, 1)
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
+            sliced = [stream[lo:hi] for stream in streams]
+            if not fast:
+                self._replay_chunk(sliced, takens[lo:hi], predictions[lo:hi])
+            elif scan_uncoupled:
+                fraction = self._replay_chunk_fast(sliced, takens[lo:hi],
+                                                   predictions[lo:hi])
+                if lo == 0 and fraction < _UNCOUPLED_VECTOR_THRESHOLD:
+                    scan_uncoupled = False
+            else:
+                predictions[lo:hi] = self._replay_coupled_fast(
+                    sliced[0].tolist(), sliced[1].tolist(),
+                    sliced[2].tolist(), sliced[3].tolist(),
+                    takens[lo:hi].view(np.uint8).tolist())
         return predictions
 
     def _replay_chunk(self, indices: list[np.ndarray], takens: np.ndarray,
@@ -293,6 +334,160 @@ class TwoBcGskewPredictor(BatchCapable, Predictor):
             state = read(four)
             train(four, state, taken)
             out[position] = state[-1]
+
+    def _replay_chunk_fast(self, indices: list[np.ndarray],
+                           takens: np.ndarray, out: np.ndarray) -> float:
+        """:meth:`_replay_chunk` without telemetry sites, with the coupled
+        remainder replayed by :meth:`_replay_coupled_fast`.  Returns the
+        chunk's uncoupled fraction (the adaptive hint consumed by
+        :meth:`batch_access`)."""
+        tables = (self.bim, self.g0, self.g1, self.meta)
+        uncoupled = uncoupled_positions(*(
+            stream & np.int64(table.hysteresis_size - 1)
+            for stream, table in zip(indices, tables)))
+        count = int(np.count_nonzero(uncoupled))
+        if count:
+            out[uncoupled] = self._train_many_uncoupled(
+                [stream[uncoupled] for stream in indices], takens[uncoupled])
+        if count < len(takens):
+            coupled = np.nonzero(~uncoupled)[0]
+            out[coupled] = self._replay_coupled_fast(
+                indices[0][coupled].tolist(), indices[1][coupled].tolist(),
+                indices[2][coupled].tolist(), indices[3][coupled].tolist(),
+                takens[coupled].view(np.uint8).tolist())
+        return count / len(takens) if len(takens) else 1.0
+
+    def _replay_coupled_fast(self, bim_idx: list, g0_idx: list, g1_idx: list,
+                             meta_idx: list, takens: list) -> list:
+        """The inlined coupled-replay kernel: predict-then-train over python
+        lists of precomputed indices, touching the four banks' prediction and
+        hysteresis byte arrays directly.
+
+        Every branch below restates one arm of :meth:`_train_partial` /
+        :meth:`_train_total` composed with the
+        :class:`~repro.common.counters.SplitCounterArray` transitions
+        (``strengthen`` on the participating correct side collapses to
+        setting the hysteresis bit because it is only reached with direction
+        == target; every other write is ``_step_towards`` spelled out).  The
+        monolithic loop exists because the coupled remainder dominates
+        long-history replay (~96% of Table 1 positions) and per-position
+        method dispatch through :meth:`_read`/:meth:`_train` costs ~3x the
+        transitions themselves.  Bit-identity against the scalar walk is
+        locked by the differential fuzzer (``tests/test_differential.py``).
+        """
+        bim, g0, g1, meta = self.bim, self.g0, self.g1, self.meta
+        bp, bh = bim._prediction, bim._hysteresis
+        p0, h0 = g0._prediction, g0._hysteresis
+        p1, h1 = g1._prediction, g1._hysteresis
+        mp, mh = meta._prediction, meta._hysteresis
+        bhm = bim.hysteresis_size - 1
+        g0hm = g0.hysteresis_size - 1
+        g1hm = g1.hysteresis_size - 1
+        mhm = meta.hysteresis_size - 1
+        partial = self.update_policy == "partial"
+        res = []
+        append = res.append
+        for bi, g0i, g1i, mi, t in zip(bim_idx, g0_idx, g1_idx, meta_idx,
+                                       takens):
+            p_b = bp[bi]
+            p_0 = p0[g0i]
+            p_1 = p1[g1i]
+            um = mp[mi]
+            maj = 1 if (p_b + p_0 + p_1) >= 2 else 0
+            ov = maj if um else p_b
+            append(ov)
+            if not partial:
+                if p_b != maj:
+                    mt = 1 if maj == t else 0
+                    mhi = mi & mhm
+                    if mp[mi] == mt:
+                        mh[mhi] = 1
+                    elif mh[mhi]:
+                        mh[mhi] = 0
+                    else:
+                        mp[mi] = mt
+                if p_b == t:
+                    bh[bi & bhm] = 1
+                elif bh[bi & bhm]:
+                    bh[bi & bhm] = 0
+                else:
+                    bp[bi] = t
+                if p_0 == t:
+                    h0[g0i & g0hm] = 1
+                elif h0[g0i & g0hm]:
+                    h0[g0i & g0hm] = 0
+                else:
+                    p0[g0i] = t
+                if p_1 == t:
+                    h1[g1i & g1hm] = 1
+                elif h1[g1i & g1hm]:
+                    h1[g1i & g1hm] = 0
+                else:
+                    p1[g1i] = t
+                continue
+            if ov == t:
+                if p_b == p_0 == p_1:
+                    continue  # Rationale 1: leave the counters stealable
+                if p_b != maj:
+                    mt = 1 if maj == t else 0
+                    mhi = mi & mhm
+                    if mp[mi] == mt:
+                        mh[mhi] = 1
+                    elif mh[mhi]:
+                        mh[mhi] = 0
+                    else:
+                        mp[mi] = mt
+                if um:
+                    if p_b == t:
+                        bh[bi & bhm] = 1
+                    if p_0 == t:
+                        h0[g0i & g0hm] = 1
+                    if p_1 == t:
+                        h1[g1i & g1hm] = 1
+                else:
+                    bh[bi & bhm] = 1
+                continue
+            # Misprediction.
+            if p_b != maj:
+                mt = 1 if maj == t else 0
+                mhi = mi & mhm
+                if mp[mi] == mt:
+                    mh[mhi] = 1
+                elif mh[mhi]:
+                    mh[mhi] = 0
+                else:
+                    mp[mi] = mt
+                if mp[mi]:  # the chooser re-read (peek) after its update
+                    if maj == t:
+                        if p_b == t:
+                            bh[bi & bhm] = 1
+                        if p_0 == t:
+                            h0[g0i & g0hm] = 1
+                        if p_1 == t:
+                            h1[g1i & g1hm] = 1
+                        continue
+                elif p_b == t:
+                    bh[bi & bhm] = 1
+                    continue
+            if p_b == t:
+                bh[bi & bhm] = 1
+            elif bh[bi & bhm]:
+                bh[bi & bhm] = 0
+            else:
+                bp[bi] = t
+            if p_0 == t:
+                h0[g0i & g0hm] = 1
+            elif h0[g0i & g0hm]:
+                h0[g0i & g0hm] = 0
+            else:
+                p0[g0i] = t
+            if p_1 == t:
+                h1[g1i & g1hm] = 1
+            elif h1[g1i & g1hm]:
+                h1[g1i & g1hm] = 0
+            else:
+                p1[g1i] = t
+        return res
 
     def _train_many_uncoupled(self, indices: list[np.ndarray],
                               takens: np.ndarray) -> np.ndarray:

@@ -17,6 +17,23 @@ from repro.sim.metrics import (
     aggregate_misp_per_ki,
     misp_per_ki,
 )
+from repro.sim.planes import (
+    PlaneError,
+    PlaneManifest,
+    PlaneSpec,
+    PlaneStore,
+    attach_batch,
+    attach_trace,
+    get_plane_store,
+    release_plane_store,
+)
+from repro.sim.scheduler import (
+    SchedulerUnavailable,
+    SweepScheduler,
+    default_start_method,
+    get_scheduler,
+    shutdown_schedulers,
+)
 from repro.sim.sweep import (
     SweepPoint,
     best_history_length,
@@ -40,6 +57,19 @@ __all__ = [
     "SimulationResult",
     "aggregate_misp_per_ki",
     "misp_per_ki",
+    "PlaneError",
+    "PlaneManifest",
+    "PlaneSpec",
+    "PlaneStore",
+    "attach_batch",
+    "attach_trace",
+    "get_plane_store",
+    "release_plane_store",
+    "SchedulerUnavailable",
+    "SweepScheduler",
+    "default_start_method",
+    "get_scheduler",
+    "shutdown_schedulers",
     "SweepPoint",
     "best_history_length",
     "sweep",

@@ -145,8 +145,10 @@ class BatchedEngine(SimulationEngine):
 
     name = "batched"
 
-    def __init__(self, strict: bool = False) -> None:
+    def __init__(self, strict: bool = False,
+                 replay_kernel: str = "fast") -> None:
         self.strict = strict
+        self.replay_kernel = replay_kernel
         self._fallback = ScalarEngine()
 
     def _explain_fallback(self, predictor: Predictor,
@@ -186,6 +188,7 @@ class BatchedEngine(SimulationEngine):
                                           warmup_branches, telemetry=sink)
             if sink.enabled:
                 predictor.attach_telemetry(sink)
+            predictor.set_replay_kernel(self.replay_kernel)
             try:
                 with sink.span("replay"):
                     predictions = predictor.batch_access(batch)
@@ -211,9 +214,21 @@ class BatchedEngine(SimulationEngine):
         )
 
 
+def _batched_compat_engine() -> BatchedEngine:
+    """The batched engine pinned to the original (pre-fabric) replay
+    kernel.  Count-identical to ``"batched"`` by contract; it exists so
+    benchmarks can measure the fast kernel against an honest reproduction
+    of the previous hot path, and keys result-cache entries under its own
+    engine name for provenance."""
+    engine = BatchedEngine(replay_kernel="compat")
+    engine.name = "batched-compat"
+    return engine
+
+
 ENGINES: dict[str, Callable[[], SimulationEngine]] = {
     "scalar": ScalarEngine,
     "batched": BatchedEngine,
+    "batched-compat": _batched_compat_engine,
 }
 
 

@@ -1,0 +1,183 @@
+"""Persistent work-stealing scheduler for sweep work units.
+
+The pre-fabric ``sweep_parallel`` built a fresh default
+``ProcessPoolExecutor`` per call and submitted one task per sweep *point*
+(each task simulating every trace serially).  That shape has three costs:
+pool startup is paid on every sweep of a multi-sweep experiment, a slow
+point straggles while other workers idle, and the executor's default start
+method is platform lore rather than a choice.
+
+This module replaces all three:
+
+* **persistent pools** — :func:`get_scheduler` memoizes
+  :class:`SweepScheduler` instances per ``(max_workers, start_method)``, so
+  ``sweep``, ``sweep_parallel`` and ``runall`` reuse one warm pool across
+  calls.  :func:`shutdown_schedulers` (also registered ``atexit``) tears
+  them down.
+* **explicit start method** — :func:`default_start_method` picks ``fork``
+  where it is safe and cheap (Linux) and ``spawn`` where fork is a trap or
+  unavailable (macOS, Windows), and callers may override per sweep.
+* **work-stealing chunking** — callers enqueue fine-grained ``(point,
+  trace)`` units; the scheduler groups them into chunks of roughly
+  ``n / (workers * 4)`` units so idle workers steal remaining chunks from
+  the shared queue instead of waiting on a straggler, while per-unit
+  dispatch overhead stays amortized.
+
+Results always come back in submission order — the scheduler adds
+concurrency, never nondeterminism; the sweep layer owns the deterministic
+fold on top.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from repro.obs import get_telemetry
+
+__all__ = ["SchedulerUnavailable", "default_start_method", "SweepScheduler",
+           "get_scheduler", "shutdown_schedulers"]
+
+_STEAL_FACTOR = 4
+"""Chunks per worker: 1 would re-create whole-point straggling, while
+per-unit chunks pay dispatch overhead ~n times.  Four chunks per worker
+keeps the tail bounded by ~1/4 of a worker's share."""
+
+
+class SchedulerUnavailable(RuntimeError):
+    """The process pool cannot run work (failed to start, or broke
+    mid-flight).  Callers should fall back to serial execution."""
+
+
+def default_start_method() -> str:
+    """The multiprocessing start method used when callers do not choose:
+    ``fork`` on Linux (cheap, inherits warm module caches), ``spawn``
+    everywhere fork is unsafe or missing (macOS's framework-library
+    restrictions, Windows)."""
+    if sys.platform in ("win32", "darwin"):
+        return "spawn"
+    return "fork"
+
+
+def _run_chunk(fn: Callable, payloads: Sequence) -> list:
+    """Worker-side chunk body (module-level so every start method can
+    pickle it)."""
+    return [fn(payload) for payload in payloads]
+
+
+class SweepScheduler:
+    """A persistent process pool dispatching chunked work units.
+
+    The pool is created lazily on the first :meth:`run` and reused until
+    :meth:`shutdown`; a pool that breaks (worker killed, executor error) is
+    discarded so the next ``run`` starts fresh.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None) -> None:
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.start_method = start_method or default_start_method()
+        self._executor: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                try:
+                    context = multiprocessing.get_context(self.start_method)
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.max_workers, mp_context=context)
+                except (ValueError, OSError, PermissionError) as error:
+                    raise SchedulerUnavailable(
+                        f"cannot start a {self.start_method!r} process pool: "
+                        f"{error!r}") from error
+                sink = get_telemetry(None)
+                if sink.enabled:
+                    sink.count("scheduler.pools_started")
+            return self._executor
+
+    def chunk_payloads(self, payloads: Sequence) -> list[list]:
+        """Split ``payloads`` into work-stealing chunks (order-preserving:
+        concatenating the chunks reproduces the input sequence)."""
+        n = len(payloads)
+        if n == 0:
+            return []
+        size = max(1, -(-n // (self.max_workers * _STEAL_FACTOR)))
+        return [list(payloads[lo:lo + size]) for lo in range(0, n, size)]
+
+    def run(self, fn: Callable, payloads: Sequence) -> list:
+        """Run ``fn`` over every payload on the pool; results come back in
+        submission order.  Raises :class:`SchedulerUnavailable` when the
+        pool cannot start or breaks (the broken pool is discarded), and
+        propagates exceptions raised by ``fn`` itself."""
+        chunks = self.chunk_payloads(payloads)
+        if not chunks:
+            return []
+        executor = self._ensure_executor()
+        sink = get_telemetry(None)
+        if sink.enabled:
+            sink.count("scheduler.runs")
+            sink.count("scheduler.units", len(payloads))
+            sink.count("scheduler.chunks", len(chunks))
+        try:
+            futures = [executor.submit(_run_chunk, fn, chunk)
+                       for chunk in chunks]
+            results: list = []
+            for future in futures:
+                results.extend(future.result())
+            return results
+        except SchedulerUnavailable:
+            raise
+        except Exception as error:
+            # A broken/unusable pool must not poison later runs; workload
+            # exceptions pickle a traceback and re-raise untouched.
+            from concurrent.futures.process import BrokenProcessPool
+            if isinstance(error, (BrokenProcessPool, RuntimeError, OSError)):
+                self.shutdown()
+                raise SchedulerUnavailable(
+                    f"process pool failed: {error!r}") from error
+            raise
+
+    def shutdown(self) -> None:
+        """Stop the pool (idempotent); the next :meth:`run` starts anew."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+_SCHEDULERS: dict[tuple[int, str], SweepScheduler] = {}
+_SCHEDULERS_LOCK = threading.Lock()
+
+
+def get_scheduler(max_workers: int | None = None,
+                  start_method: str | None = None) -> SweepScheduler:
+    """The memoized scheduler for ``(max_workers, start_method)`` — the
+    persistence point that lets successive sweeps reuse one warm pool."""
+    workers = max_workers or os.cpu_count() or 1
+    method = start_method or default_start_method()
+    with _SCHEDULERS_LOCK:
+        scheduler = _SCHEDULERS.get((workers, method))
+        if scheduler is None:
+            scheduler = SweepScheduler(max_workers=workers,
+                                       start_method=method)
+            _SCHEDULERS[(workers, method)] = scheduler
+        return scheduler
+
+
+def shutdown_schedulers() -> None:
+    """Shut down every memoized scheduler (registered ``atexit``; also the
+    explicit teardown hook for experiment runners and tests)."""
+    with _SCHEDULERS_LOCK:
+        schedulers = list(_SCHEDULERS.values())
+        _SCHEDULERS.clear()
+    for scheduler in schedulers:
+        scheduler.shutdown()
+
+
+atexit.register(shutdown_schedulers)

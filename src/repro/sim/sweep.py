@@ -14,15 +14,17 @@ batched engine (``engine="batched"``) and fan out across processes
 from __future__ import annotations
 
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from repro.history.providers import HistoryProvider
-from repro.obs import NullTelemetry, Telemetry, get_telemetry
+from repro.history.providers import (BranchGhistProvider, HistoryProvider,
+                                     seed_plane_cache)
+from repro.obs import NullTelemetry, Telemetry, get_telemetry, use_telemetry
 from repro.predictors.base import Predictor
+from repro.sim import planes, scheduler as sweep_scheduler
 from repro.sim.driver import simulate
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import BatchedEngine, SimulationEngine, get_engine
 from repro.traces.model import Trace
 
 __all__ = ["SweepPoint", "sweep", "sweep_parallel", "best_history_length"]
@@ -94,6 +96,62 @@ def sweep(make_predictor: Callable[[int], Predictor],
     return points
 
 
+def _simulate_unit(payload: tuple) -> tuple[float, dict | None]:
+    """Worker-side body for one ``(point, trace)`` work unit (module-level
+    so process pools can pickle it).
+
+    ``trace_ref``/``batch_ref`` are either shared-memory
+    :class:`~repro.sim.planes.PlaneManifest` handles (the fabric fast path:
+    attach zero-copy, adopt the published batch into the provider's
+    materialization cache so the worker never re-materializes) or plain
+    pickled fallbacks (``batch_ref=None`` means materialize locally, exactly
+    the pre-fabric behaviour).  A batch plane that fails to attach degrades
+    to local materialization; a trace plane that fails to attach raises —
+    there is nothing to simulate — and the caller falls back to serial.
+
+    Telemetry is recorded into a unit-local sink installed as the
+    process-global active sink for the unit's duration, so fabric-adjacent
+    bookkeeping (cache adoption recomputes, engine spans) lands in the
+    snapshot that travels back for the deterministic fold.
+    """
+    (value, trace_ref, batch_ref, make_predictor, make_provider, engine,
+     use_cache, collect_telemetry) = payload
+    if isinstance(trace_ref, planes.PlaneManifest):
+        trace = planes.attach_trace(trace_ref)
+    else:
+        trace = trace_ref
+    sink = Telemetry() if collect_telemetry else None
+    scope = use_telemetry(sink) if sink is not None else nullcontext()
+    with scope:
+        if isinstance(batch_ref, planes.PlaneManifest):
+            try:
+                batch = planes.attach_batch(batch_ref)
+                seed_plane_cache(batch_ref.provider_key, trace, batch)
+            except planes.PlaneError:
+                pass  # worker materializes locally; slower, still correct
+        provider = make_provider() if make_provider is not None else None
+        result = simulate(make_predictor(value), trace, provider,
+                          engine=engine, use_cache=use_cache, telemetry=sink)
+    return result.misp_per_ki, (sink.snapshot() if sink is not None else None)
+
+
+def _probe_provider(make_provider, engine):
+    """The provider instance whose planes should be published for a sweep:
+    the caller's factory when given, the batched engine's default otherwise
+    (``None`` when the resolved engine would never consume a batch)."""
+    if make_provider is not None:
+        try:
+            return make_provider()
+        except Exception:
+            return None  # the broken factory will surface in the workers
+    try:
+        if isinstance(get_engine(engine), BatchedEngine):
+            return BranchGhistProvider()
+    except ValueError:
+        pass  # unknown engine name: let simulate raise it, not the fabric
+    return None
+
+
 def sweep_parallel(make_predictor: Callable[[int], Predictor],
                    values: Iterable[int],
                    traces: dict[str, Trace],
@@ -102,36 +160,59 @@ def sweep_parallel(make_predictor: Callable[[int], Predictor],
                    max_workers: int | None = None,
                    use_cache: bool | None = None,
                    telemetry: NullTelemetry | None = None,
+                   start_method: str | None = None,
                    ) -> list[SweepPoint]:
-    """:func:`sweep` with points fanned out over a process pool.
+    """:func:`sweep` fanned out over the persistent work-stealing pool.
 
-    Sweep points are embarrassingly parallel (each simulates fresh predictor
-    state), so they distribute across ``max_workers`` processes; results come
-    back in ``values`` order.  The factories and traces must be picklable
-    (module-level functions / ``functools.partial`` — not lambdas); when the
-    pool cannot be used (unpicklable work, restricted platform), the sweep
-    transparently degrades to the serial path with a warning, so callers
-    never lose results.  ``engine`` must be a registered engine *name* here,
-    as engine instances do not cross process boundaries.
+    The unit of work is one ``(point, trace)`` simulation — finer than the
+    whole-point tasks of earlier revisions, so a slow benchmark no longer
+    straggles an entire point while other workers idle.  Before dispatch,
+    every trace's columns and (when the provider can be keyed) its
+    materialized information-vector planes are published once into the
+    shared-memory plane fabric (:mod:`repro.sim.planes`); workers attach
+    them zero-copy, so neither trace arrays nor batches are pickled per
+    task and each trace's planes are materialized exactly once
+    process-wide.  Where shared memory is unavailable the payloads carry
+    pickled traces instead — slower, never wrong.
 
-    Worker processes share no memory, so a recording ``telemetry`` sink
-    cannot simply be written to from the pool: each point records into a
-    worker-local child sink whose snapshot travels back with the result and
-    merges into ``telemetry`` in ``values`` order, making the merged
-    counters identical to a serial :func:`sweep` of the same work.
+    The pool itself is persistent and keyed by ``(max_workers,
+    start_method)`` (:func:`repro.sim.scheduler.get_scheduler`), with the
+    start method chosen explicitly per platform (``fork`` on Linux,
+    ``spawn`` on macOS/Windows) unless overridden via ``start_method``.
+    When the pool cannot be used (unpicklable work, restricted platform),
+    the sweep transparently degrades to the serial path with a warning, so
+    callers never lose results.  ``engine`` must be a registered engine
+    *name* here, as engine instances do not cross process boundaries.
+
+    Results come back in ``values`` order with ``per_benchmark`` rebuilt in
+    ``traces`` order, and per-unit telemetry snapshots fold back into
+    ``telemetry`` deterministically (units merge per point in trace order,
+    points merge in values order) — a parallel sweep's points and merged
+    counters are identical to a serial :func:`sweep` of the same work.
     """
     values = list(values)
+    names = list(traces)
     sink = get_telemetry(telemetry)
-    if max_workers is not None and max_workers <= 1:
+    if max_workers is not None and max_workers <= 1 or not values or not names:
         return sweep(make_predictor, values, traces, make_provider, engine,
                      use_cache, telemetry=sink)
     try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(_evaluate_point, make_predictor, value,
-                                   traces, make_provider, engine, use_cache,
-                                   sink.enabled)
-                       for value in values]
-            outcomes = [future.result() for future in futures]
+        store = planes.get_plane_store()
+        probe = _probe_provider(make_provider, engine)
+        trace_refs: dict[str, object] = {}
+        batch_refs: dict[str, planes.PlaneManifest | None] = {}
+        for name in names:
+            trace = traces[name]
+            manifest = store.publish_trace(trace)
+            trace_refs[name] = manifest if manifest is not None else trace
+            batch_refs[name] = (store.publish_batch(trace, probe)
+                                if probe is not None else None)
+        payloads = [(value, trace_refs[name], batch_refs[name],
+                     make_predictor, make_provider, engine, use_cache,
+                     sink.enabled)
+                    for value in values for name in names]
+        pool = sweep_scheduler.get_scheduler(max_workers, start_method)
+        outcomes = pool.run(_simulate_unit, payloads)
     except Exception as error:  # unpicklable factory, broken pool, ...
         warnings.warn(
             f"sweep_parallel falling back to serial sweep: {error!r}",
@@ -139,10 +220,18 @@ def sweep_parallel(make_predictor: Callable[[int], Predictor],
         return sweep(make_predictor, values, traces, make_provider, engine,
                      use_cache, telemetry=sink)
     points = []
-    for point, snapshot in outcomes:
-        if snapshot is not None:
-            sink.merge_snapshot(snapshot)
-        points.append(point)
+    for index, value in enumerate(values):
+        units = outcomes[index * len(names):(index + 1) * len(names)]
+        per_benchmark = {name: misp for name, (misp, _) in zip(names, units)}
+        mean = sum(per_benchmark.values()) / len(per_benchmark)
+        points.append(SweepPoint(value=value, mean_misp_per_ki=mean,
+                                 per_benchmark=per_benchmark))
+        if sink.enabled:
+            point_sink = Telemetry()
+            for _, snapshot in units:
+                if snapshot is not None:
+                    point_sink.merge_snapshot(snapshot)
+            sink.merge_snapshot(point_sink.snapshot())
     return points
 
 

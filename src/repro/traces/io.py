@@ -22,9 +22,22 @@ import numpy as np
 from repro.obs import NullTelemetry, get_telemetry
 from repro.traces.model import Trace
 
-__all__ = ["save_trace", "load_trace", "TraceCache", "default_cache_dir"]
+__all__ = ["TRACE_COLUMNS", "trace_columns", "save_trace", "load_trace",
+           "TraceCache", "default_cache_dir"]
 
 _FORMAT_VERSION = 1
+
+TRACE_COLUMNS = ("starts", "num_instructions", "kinds", "takens",
+                 "next_starts")
+"""The trace's array fields in canonical serialization order — shared by
+the ``.npz`` writer below and the shared-memory plane fabric
+(:mod:`repro.sim.planes`), so both media agree on what constitutes a
+trace's content."""
+
+
+def trace_columns(trace: Trace) -> list[tuple[str, np.ndarray]]:
+    """``(name, column)`` pairs in :data:`TRACE_COLUMNS` order."""
+    return [(name, getattr(trace, name)) for name in TRACE_COLUMNS]
 
 
 def save_trace(trace: Trace, path: str | os.PathLike) -> None:
@@ -35,11 +48,7 @@ def save_trace(trace: Trace, path: str | os.PathLike) -> None:
         path,
         format_version=np.array([_FORMAT_VERSION]),
         name=np.array([trace.name]),
-        starts=trace.starts,
-        num_instructions=trace.num_instructions,
-        kinds=trace.kinds,
-        takens=trace.takens,
-        next_starts=trace.next_starts,
+        **dict(trace_columns(trace)),
     )
 
 

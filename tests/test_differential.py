@@ -121,6 +121,32 @@ def batched_walk(predictor, trace, provider, sink) -> np.ndarray:
     return predictor.batch_access(batch)
 
 
+def fast_walk(predictor, trace, provider) -> np.ndarray:
+    """The batched replay under the fast kernel (telemetry disabled — a
+    recording sink forces the compat kernel, so this arm runs without one,
+    exactly like production sweeps)."""
+    batch = provider.materialize(trace)
+    assert batch is not None, "provider fell out of the batchable envelope"
+    predictor.set_replay_kernel("fast")
+    return predictor.batch_access(batch)
+
+
+def _bank_arrays(predictor) -> dict[str, SplitCounterArray]:
+    banks = {name: value for name, value in vars(predictor).items()
+             if isinstance(value, SplitCounterArray)}
+    assert banks, "predictor exposes no counter arrays to compare"
+    return banks
+
+
+def _assert_same_state(reference, candidate, arm: str) -> None:
+    for name, bank in _bank_arrays(reference).items():
+        other = getattr(candidate, name)
+        assert bytes(bank._prediction) == bytes(other._prediction), \
+            f"{name} prediction array diverged ({arm})"
+        assert bytes(bank._hysteresis) == bytes(other._hysteresis), \
+            f"{name} hysteresis array diverged ({arm})"
+
+
 def assert_equivalent(make_predictor, trace, make_provider) -> None:
     scalar_sink, batched_sink = Telemetry(), Telemetry()
     reference = make_predictor()
@@ -129,16 +155,7 @@ def assert_equivalent(make_predictor, trace, make_provider) -> None:
     actual = batched_walk(candidate, trace, make_provider(), batched_sink)
 
     np.testing.assert_array_equal(expected, actual)
-
-    banks = {name: value for name, value in vars(reference).items()
-             if isinstance(value, SplitCounterArray)}
-    assert banks, "predictor exposes no counter arrays to compare"
-    for name, bank in banks.items():
-        other = getattr(candidate, name)
-        assert bytes(bank._prediction) == bytes(other._prediction), \
-            f"{name} prediction array diverged"
-        assert bytes(bank._hysteresis) == bytes(other._hysteresis), \
-            f"{name} hysteresis array diverged"
+    _assert_same_state(reference, candidate, "compat kernel")
 
     # Engine-consistent telemetry: logical bank traffic, arbitration and
     # update-policy event counts must match key-for-key (replay.* is
@@ -150,10 +167,22 @@ def assert_equivalent(make_predictor, trace, make_provider) -> None:
 
     assert comparable(scalar_sink) == comparable(batched_sink)
 
+    # Third arm: the fast replay kernel (what production sweeps run when no
+    # sink is attached) must be bit-identical to the same scalar reference —
+    # predictions and final table state both.
+    fast = make_predictor()
+    np.testing.assert_array_equal(
+        expected, fast_walk(fast, trace, make_provider()))
+    _assert_same_state(reference, fast, "fast kernel")
+
 
 # -- the fuzzers --------------------------------------------------------------
 
 class TestTwoBcGskewDifferential:
+    # slow: the full randomized budget runs in the dedicated CI fuzzer step
+    # (which runs this file without the marker filter); the default lane
+    # keeps the fixed-shape differential tests below.
+    @pytest.mark.slow
     @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
     @given(config=twobcgskew_configs(), trace=random_traces(),
            make_provider=providers_factories())

@@ -124,6 +124,7 @@ class TestFigureExperimentsSmoke:
         assert "EV8 size (352Kb)" in table.config_names
         assert "Fig 8" in fig8.render(table)
 
+    @pytest.mark.slow
     def test_fig9_structure(self):
         from repro.experiments import fig9
         table = fig9.run(SMOKE_BRANCHES)

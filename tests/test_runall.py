@@ -2,9 +2,12 @@
 
 import json
 
+import pytest
+
 from repro.experiments.runall import run_all
 
 
+@pytest.mark.slow
 def test_run_all_produces_complete_report(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
     monkeypatch.setenv("REPRO_RESULT_CACHE_DIR", str(tmp_path / "cache"))
